@@ -1,0 +1,37 @@
+//! Ablation: the effect of Figure-4 loop splitting (communication/
+//! computation overlap) on simulated execution time, per the paper's §7
+//! observation that splitting let TOMCATV reference receive buffers
+//! directly and overlap boundary exchange with interior computation.
+
+use dhpf_core::spmd::SpmdOptions;
+use dhpf_core::{compile, CompileOptions};
+use dhpf_sim::{simulate, MachineModel};
+use std::collections::HashMap;
+
+fn main() {
+    let inputs: HashMap<String, i64> = [("niter".to_string(), 3i64)].into_iter().collect();
+    println!("Ablation: Figure-4 loop splitting (TOMCATV 257x257)\n");
+    println!("  P    t(no split)   t(split)    gain");
+    for p in [2i64, 4, 8, 16] {
+        let mut times = Vec::new();
+        for split in [false, true] {
+            let opts = CompileOptions {
+                spmd: SpmdOptions {
+                    loop_splitting: split,
+                },
+            };
+            let compiled =
+                compile(dhpf_bench::sources::TOMCATV, &opts).expect("compile tomcatv");
+            let r = simulate(&compiled, &[p], &inputs, &MachineModel::sp2())
+                .expect("simulate tomcatv");
+            times.push(r.time);
+        }
+        println!(
+            "  {:<4} {:>11.5} {:>10.5} {:>6.1}%",
+            p,
+            times[0],
+            times[1],
+            100.0 * (times[0] - times[1]) / times[0]
+        );
+    }
+}

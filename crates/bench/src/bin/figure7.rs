@@ -1,0 +1,13 @@
+//! Prints the Figure 7 reproduction.
+fn main() {
+    let procs: Vec<i64> = std::env::args()
+        .nth(1)
+        .map(|s| {
+            s.split(',')
+                .map(|x| x.parse().expect("processor count"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8, 16]);
+    let curves = dhpf_bench::figure7::run(&procs);
+    println!("{}", dhpf_bench::figure7::render(&curves));
+}

@@ -1,0 +1,4 @@
+//! Prints the Table 1 reproduction.
+fn main() {
+    println!("{}", dhpf_bench::table1::run());
+}

@@ -1,0 +1,161 @@
+//! Figure 7: speedups for TOMCATV, ERLEBACHER, and JACOBI on the simulated
+//! message-passing machine, for two problem sizes each, relative to the
+//! one-processor run (T(1)/T(P)).
+
+use dhpf_core::{compile, CompileOptions, Compiled};
+use dhpf_sim::{simulate, MachineModel};
+use std::collections::HashMap;
+
+/// One speedup curve: a benchmark at one problem size.
+#[derive(Debug)]
+pub struct Curve {
+    /// Benchmark name.
+    pub bench: String,
+    /// Problem-size label (e.g. "257x257").
+    pub size: String,
+    /// `(processors, simulated time seconds, speedup)` points.
+    pub points: Vec<(i64, f64, f64)>,
+    /// Message/byte counts at the largest P (communication profile).
+    pub messages: u64,
+    /// Total payload bytes at the largest P.
+    pub bytes: u64,
+}
+
+/// Grid shapes per benchmark: maps total P to per-dimension counts.
+fn grid_for(bench: &str, p: i64) -> Vec<i64> {
+    match bench {
+        // Paper: JACOBI on a 2D (2, P/2) grid; 1D otherwise. The first
+        // grid dimension is fixed at 2 processors, so the smallest
+        // configuration is 2 ranks.
+        "JACOBI" => vec![2, (p / 2).max(1)],
+        _ => vec![p],
+    }
+}
+
+/// Runs one curve. `size` rewrites the source's `parameter` line so the
+/// array extents match the problem size.
+///
+/// # Panics
+///
+/// Panics if compilation or simulation fails (harness inputs are fixed).
+pub fn curve(
+    bench: &str,
+    src: &str,
+    size_label: &str,
+    size: Option<(&str, &str)>,
+    inputs: &[(&str, i64)],
+    procs: &[i64],
+) -> Curve {
+    let src = match size {
+        Some((from, to)) => src.replace(from, to),
+        None => src.to_string(),
+    };
+    let compiled: Compiled =
+        compile(&src, &CompileOptions::default()).unwrap_or_else(|e| panic!("{bench}: {e}"));
+    let inputs: HashMap<String, i64> = inputs
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v))
+        .collect();
+    let machine = MachineModel::sp2();
+    let mut points = Vec::new();
+    // Speedup is p0 * T(p0) / T(p): for a 1-D grid p0 = 1 (plain speedup);
+    // JACOBI's fixed 2 x (P/2) grid starts at p0 = 2, matching the paper's
+    // treatment of configurations whose smallest run is parallel
+    // ("speedups ... are computed relative to the 4-processor speedup").
+    let mut base: Option<(i64, f64)> = None;
+    let mut last = (0u64, 0u64);
+    for &p in procs {
+        let grid = grid_for(bench, p);
+        let total: i64 = grid.iter().product();
+        let r = simulate(&compiled, &grid, &inputs, &machine)
+            .unwrap_or_else(|e| panic!("{bench} P={p}: {e}"));
+        let t = r.time;
+        let (p0, t0) = *base.get_or_insert((total, t));
+        if points.last().map(|&(p, _, _)| p) != Some(total) {
+            points.push((total, t, p0 as f64 * t0 / t));
+        }
+        last = (r.messages, r.bytes);
+    }
+    Curve {
+        bench: bench.to_string(),
+        size: size_label.to_string(),
+        points,
+        messages: last.0,
+        bytes: last.1,
+    }
+}
+
+/// All Figure 7 curves at harness scale.
+///
+/// Simulated sizes are scaled down from the paper's (which ran minutes on a
+/// real SP-2); the *shape* of each curve is the reproduction target.
+pub fn run(procs: &[i64]) -> Vec<Curve> {
+    let mut out = Vec::new();
+    out.push(curve(
+        "TOMCATV",
+        crate::sources::TOMCATV,
+        "129x129",
+        Some(("parameter (n = 257)", "parameter (n = 129)")),
+        &[("niter", 3)],
+        procs,
+    ));
+    out.push(curve(
+        "TOMCATV",
+        crate::sources::TOMCATV,
+        "257x257",
+        None,
+        &[("niter", 3)],
+        procs,
+    ));
+    out.push(curve(
+        "ERLEBACHER",
+        crate::sources::ERLEBACHER,
+        "32^3",
+        None,
+        &[],
+        procs,
+    ));
+    out.push(curve(
+        "ERLEBACHER",
+        crate::sources::ERLEBACHER,
+        "64^3",
+        Some(("parameter (n = 32, nz = 32)", "parameter (n = 64, nz = 64)")),
+        &[],
+        procs,
+    ));
+    out.push(curve(
+        "JACOBI",
+        crate::sources::JACOBI,
+        "128x128",
+        None,
+        &[("niter", 3)],
+        procs,
+    ));
+    out.push(curve(
+        "JACOBI",
+        crate::sources::JACOBI,
+        "256x256",
+        Some(("parameter (n = 128)", "parameter (n = 256)")),
+        &[("niter", 3)],
+        procs,
+    ));
+    out
+}
+
+/// Renders curves as an ASCII table.
+pub fn render(curves: &[Curve]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 7: speedups on the simulated message-passing machine\n");
+    for c in curves {
+        out.push_str(&format!("\n{} ({}):\n", c.bench, c.size));
+        out.push_str("  P     time(s)   speedup\n");
+        for (p, t, s) in &c.points {
+            out.push_str(&format!("  {:<4} {:>9.4} {:>9.2}\n", p, t, s));
+        }
+        out.push_str(&format!(
+            "  [largest P: {} messages, {} payload bytes]\n",
+            c.messages, c.bytes
+        ));
+    }
+    out
+}

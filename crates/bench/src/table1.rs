@@ -1,0 +1,105 @@
+//! Table 1: breakdown of dHPF compilation time.
+//!
+//! Compiles SP-4 (fixed 2x2 processors), SP-sym (symbolic count), and
+//! TOMCATV-sym (symbolic count), and prints the same rows the paper
+//! reports: total wall-clock time and the percentage of time in each
+//! analysis/code-generation phase, including the share spent in
+//! multiple-mappings code generation (the integer-set framework's cost).
+
+use dhpf_core::{compile, CompileOptions, Compiled};
+use std::time::Duration;
+
+/// One column of Table 1.
+#[derive(Debug)]
+pub struct Column {
+    /// Application variant name (e.g. "SP-4").
+    pub name: String,
+    /// Total compilation wall-clock time.
+    pub total: Duration,
+    /// `(phase, time, percent-of-total)` rows.
+    pub rows: Vec<(String, Duration, f64)>,
+    /// The compiled artifact (for stats).
+    pub compiled: Compiled,
+}
+
+/// Compiles one variant and captures its phase breakdown.
+///
+/// # Panics
+///
+/// Panics if the variant fails to compile (the harness inputs are fixed).
+pub fn column(name: &str, src: &str) -> Column {
+    let compiled = compile(src, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+    Column {
+        name: name.to_string(),
+        total: compiled.report.timers.total(),
+        rows: compiled.report.timers.rows(),
+        compiled,
+    }
+}
+
+/// The phase rows printed, mirroring the paper's table.
+pub const PHASES: &[&str] = &[
+    "interprocedural analysis",
+    "module compilation",
+    "partitioning computation",
+    "loop splitting",
+    "loop bounds reduction",
+    "communication generation",
+    "loops over comm partners",
+    "check if msg is contiguous",
+    "opt of generated code",
+    "mult mappings code generation",
+];
+
+/// Runs the full Table 1 and renders it as text.
+pub fn run() -> String {
+    let sp4 = column("SP-4", dhpf_bench_sources_sp());
+    let spsym_src = crate::sources::sp_symbolic();
+    let spsym = column("SP-sym", &spsym_src);
+    let tsym = column("T-sym", crate::sources::TOMCATV);
+    render(&[sp4, spsym, tsym])
+}
+
+fn dhpf_bench_sources_sp() -> &'static str {
+    crate::sources::SP
+}
+
+/// Renders columns into the paper's table shape.
+pub fn render(cols: &[Column]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: Breakdown of dHPF compilation time\n");
+    out.push_str(&format!("{:<34}", "application"));
+    for c in cols {
+        out.push_str(&format!("{:>12}", c.name));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<34}", "total compilation wall-clock time"));
+    for c in cols {
+        out.push_str(&format!("{:>11.2}s", c.total.as_secs_f64()));
+    }
+    out.push('\n');
+    for phase in PHASES {
+        out.push_str(&format!("{:<34}", phase));
+        for c in cols {
+            let pct = c
+                .rows
+                .iter()
+                .find(|(n, _, _)| n == phase)
+                .map(|(_, _, p)| *p)
+                .unwrap_or(0.0);
+            out.push_str(&format!("{:>11.1}%", pct));
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    out.push_str("synthesis statistics:\n");
+    for c in cols {
+        let s = &c.compiled.report.stats;
+        out.push_str(&format!(
+            "  {:<8} comm events {:>3}, vectorized {:>3}, coalesced groups {:>2}, contiguous {:>3}, split nests {:>2}\n",
+            c.name, s.comm_events, s.fully_vectorized, s.coalesced_groups, s.contiguous_events, s.split_nests
+        ));
+    }
+    out
+}

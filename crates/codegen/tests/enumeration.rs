@@ -1,0 +1,230 @@
+//! Generated loop nests must enumerate exactly the tuples of the input
+//! sets, in lexicographic order, with same-tuple statements in source order.
+
+use dhpf_codegen::{codegen, codegen_set, CodegenOptions, Env, Mapping, StmtId};
+use dhpf_omega::Set;
+use proptest::prelude::*;
+
+fn run(code: &dhpf_codegen::Code, params: &[(&str, i64)]) -> Vec<(usize, Vec<i64>)> {
+    run_named(code, params, &["i", "j"])
+}
+
+fn run_named(
+    code: &dhpf_codegen::Code,
+    params: &[(&str, i64)],
+    names: &[&str],
+) -> Vec<(usize, Vec<i64>)> {
+    let mut env: Env = params
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v))
+        .collect();
+    let mut out = Vec::new();
+    code.execute(&mut env, &mut |id, e| {
+        let tuple: Vec<i64> = names
+            .iter()
+            .filter(|n| e.contains_key(**n))
+            .map(|n| e[*n])
+            .collect();
+        out.push((id.0, tuple));
+    })
+    .unwrap();
+    out
+}
+
+fn expect_set(src: &str, params: &[(&str, i64)], names: &[&str]) {
+    let s: Set = src.parse().unwrap();
+    let code = codegen_set(&s, StmtId(0), names, &CodegenOptions::default()).unwrap();
+    let got: Vec<Vec<i64>> = run_named(&code, params, names)
+        .into_iter()
+        .map(|(_, t)| t)
+        .collect();
+    let mut want = s.enumerate(params).unwrap();
+    want.sort();
+    assert_eq!(got, want, "set {src} params {params:?}");
+}
+
+#[test]
+fn triangular_space() {
+    expect_set("{[i,j] : 1 <= i <= N && i <= j <= N}", &[("N", 5)], &["i", "j"]);
+}
+
+#[test]
+fn union_of_disjoint_boxes() {
+    expect_set(
+        "{[i] : 1 <= i <= 3 || 7 <= i <= 9}",
+        &[],
+        &["i"],
+    );
+}
+
+#[test]
+fn overlapping_union_not_double_counted() {
+    expect_set("{[i] : 1 <= i <= 6 || 4 <= i <= 9}", &[], &["i"]);
+}
+
+#[test]
+fn strided_space_uses_step_or_guard() {
+    expect_set(
+        "{[i] : 1 <= i <= 20 && exists(a : i = 3a + 2)}",
+        &[],
+        &["i"],
+    );
+}
+
+#[test]
+fn block_distribution_space() {
+    // Iterations owned by processor p of a BLOCK(25) distribution.
+    expect_set(
+        "{[i] : 25p + 1 <= i <= 25p + 25 && 1 <= i <= N}",
+        &[("p", 2), ("N", 60)],
+        &["i"],
+    );
+}
+
+#[test]
+fn cyclic_distribution_space() {
+    // i ≡ p (mod 4), symbolic in nothing else.
+    expect_set(
+        "{[i] : 0 <= i <= 30 && exists(a : i = 4a + p)}",
+        &[("p", 3)],
+        &["i"],
+    );
+}
+
+#[test]
+fn equality_defined_dimension() {
+    expect_set(
+        "{[i,j] : 1 <= i <= 8 && j = 2i + 1}",
+        &[],
+        &["i", "j"],
+    );
+}
+
+#[test]
+fn empty_space_generates_no_statements() {
+    let s: Set = "{[i] : 1 <= i && i <= 0}".parse().unwrap();
+    let code = codegen_set(&s, StmtId(0), &["i"], &CodegenOptions::default()).unwrap();
+    assert!(run(&code, &[]).is_empty());
+}
+
+#[test]
+fn multi_statement_lexicographic_interleaving() {
+    // S0 over [2,5], S1 over [4,8]: within the shared range, S0 precedes S1
+    // at each tuple; overall order is lexicographic on the tuple.
+    let a: Set = "{[i] : 2 <= i <= 5}".parse().unwrap();
+    let b: Set = "{[i] : 4 <= i <= 8}".parse().unwrap();
+    let code = codegen(
+        &[
+            Mapping { stmt: StmtId(0), space: a },
+            Mapping { stmt: StmtId(1), space: b },
+        ],
+        &["i"],
+        &CodegenOptions::default(),
+    )
+    .unwrap();
+    let got = run(&code, &[]);
+    let mut want = Vec::new();
+    for i in 2..=8i64 {
+        if (2..=5).contains(&i) {
+            want.push((0usize, vec![i]));
+        }
+        if (4..=8).contains(&i) {
+            want.push((1usize, vec![i]));
+        }
+    }
+    assert_eq!(got, want);
+}
+
+#[test]
+fn multi_statement_2d() {
+    let a: Set = "{[i,j] : 1 <= i <= 3 && 1 <= j <= 2}".parse().unwrap();
+    let b: Set = "{[i,j] : 2 <= i <= 4 && 2 <= j <= 3}".parse().unwrap();
+    let code = codegen(
+        &[
+            Mapping { stmt: StmtId(0), space: a.clone() },
+            Mapping { stmt: StmtId(1), space: b.clone() },
+        ],
+        &["i", "j"],
+        &CodegenOptions::default(),
+    )
+    .unwrap();
+    let got = run(&code, &[]);
+    // Build the expected lexicographic interleaving.
+    let mut want = Vec::new();
+    for i in 1..=4i64 {
+        for j in 1..=3i64 {
+            if a.contains(&[i, j], &[]) {
+                want.push((0usize, vec![i, j]));
+            }
+            if b.contains(&[i, j], &[]) {
+                want.push((1usize, vec![i, j]));
+            }
+        }
+    }
+    assert_eq!(got, want);
+}
+
+#[test]
+fn symbolic_bounds_emit_min_max() {
+    let s: Set = "{[i] : 1 <= i <= N && i <= M}".parse().unwrap();
+    let code = codegen_set(&s, StmtId(0), &["i"], &CodegenOptions::default()).unwrap();
+    for n in 0..6i64 {
+        for m in 0..6i64 {
+            let got: Vec<i64> = run(&code, &[("N", n), ("M", m)])
+                .into_iter()
+                .map(|(_, t)| t[0])
+                .collect();
+            let want: Vec<i64> = (1..=n.min(m)).collect();
+            assert_eq!(got, want, "N={n} M={m}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_1d_unions_enumerate_exactly(
+        ranges in proptest::collection::vec((0..12i64, 0..12i64), 1..4),
+        strided in proptest::bool::ANY,
+        m in 2..4i64,
+        r in 0..2i64,
+    ) {
+        let mut parts: Vec<String> = ranges
+            .iter()
+            .map(|&(a, b)| format!("{} <= i <= {}", a.min(b), a.max(b)))
+            .collect();
+        if strided {
+            parts[0] = format!("{} && exists(q : i = {}q + {})", parts[0], m, r % m);
+        }
+        let src = format!("{{[i] : {}}}", parts.join(" || "));
+        let s: Set = src.parse().unwrap();
+        let code = codegen_set(&s, StmtId(0), &["i"], &CodegenOptions::default()).unwrap();
+        let got: Vec<Vec<i64>> = run(&code, &[]).into_iter().map(|(_, t)| t).collect();
+        let mut want = s.enumerate(&[]).unwrap();
+        want.sort();
+        prop_assert_eq!(got, want, "source {}", src);
+    }
+
+    #[test]
+    fn random_2d_spaces_enumerate_exactly(
+        ib in (0..8i64, 0..8i64),
+        jb in (0..8i64, 0..8i64),
+        coupled in proptest::bool::ANY,
+    ) {
+        let mut src = format!(
+            "{{[i,j] : {} <= i <= {} && {} <= j <= {}",
+            ib.0.min(ib.1), ib.0.max(ib.1), jb.0.min(jb.1), jb.0.max(jb.1)
+        );
+        if coupled {
+            src.push_str(" && i <= j");
+        }
+        src.push('}');
+        let s: Set = src.parse().unwrap();
+        let code = codegen_set(&s, StmtId(0), &["i", "j"], &CodegenOptions::default()).unwrap();
+        let got: Vec<Vec<i64>> = run(&code, &[]).into_iter().map(|(_, t)| t).collect();
+        let mut want = s.enumerate(&[]).unwrap();
+        want.sort();
+        prop_assert_eq!(got, want, "source {}", src);
+    }
+}

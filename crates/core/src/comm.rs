@@ -1,0 +1,344 @@
+//! Communication analysis: the Figure 3 equations.
+//!
+//! For each logical communication event (a coalesced set of references to
+//! one array, vectorized to some loop level) this module computes, for the
+//! representative processor `m = myid` (symbolic parameters `m1..mr`):
+//!
+//! - `DataAccessed_t` — all data accessed by each processor,
+//! - `nlDataSet_t(m)` — the off-processor data `m` references,
+//! - `NLCommMap_t(m)` / `LocalCommMap_t(m)`,
+//! - `SendCommMap(m)` and `RecvCommMap(m)`.
+
+use crate::cp::myid_set;
+use crate::layout::Layout;
+use dhpf_omega::{Relation, Set};
+
+/// One reference participating in a communication event: its `CPMap`
+/// (proc → loop) and `RefMap` (loop → data), both at the event's level.
+#[derive(Clone, Debug)]
+pub struct CommRef {
+    /// Computation partitioning of the referencing statement.
+    pub cp_map: Relation,
+    /// The reference mapping.
+    pub ref_map: Relation,
+}
+
+/// The communication sets of one logical event (Figure 3 outputs).
+#[derive(Clone, Debug)]
+pub struct CommSets {
+    /// Data that `m` accesses but does not own (`nlDataSet_read(m)`).
+    pub nl_read_data: Set,
+    /// Data that `m` writes but does not own.
+    pub nl_write_data: Set,
+    /// `SendCommMap(m)`: partner `p` → data `m` must send to `p`.
+    pub send_map: Relation,
+    /// `RecvCommMap(m)`: partner `p` → data `m` must receive from `p`.
+    pub recv_map: Relation,
+}
+
+impl CommSets {
+    /// True if no data moves at all.
+    pub fn is_empty(&self) -> bool {
+        self.send_map.is_empty() && self.recv_map.is_empty()
+    }
+}
+
+/// Computes the Figure 3 communication sets for one coalesced event.
+///
+/// `reads`/`writes` are the potentially non-local references (their unions
+/// implement message coalescing); `layout` is the referenced array's layout.
+///
+/// # Panics
+///
+/// Panics if the references' processor/data arities disagree with the
+/// layout's.
+pub fn comm_sets(reads: &[CommRef], writes: &[CommRef], layout: &Layout) -> CommSets {
+    let proc_rank = layout.proc_rank();
+    let me = myid_set(proc_rank);
+    let owned_by_m = layout.rel.apply(&me);
+    let others = Set::universe(proc_rank).subtract(&me);
+
+    // Step 2: DataAccessed_t = ∪_r CPMap_r ∘ RefMap_r  (proc -> data).
+    let accessed = |refs: &[CommRef]| -> Option<Relation> {
+        let mut acc: Option<Relation> = None;
+        for r in refs {
+            let term = r.cp_map.then(&r.ref_map);
+            acc = Some(match acc {
+                None => term,
+                Some(a) => a.union(&term),
+            });
+        }
+        acc
+    };
+    let data_read = accessed(reads);
+    let data_write = accessed(writes);
+
+    // Step 3 (per §5): nlDataSet_t(m) = DataAccessed_t({m}) - Layout({m}).
+    let nl_of = |d: &Option<Relation>| -> Set {
+        match d {
+            Some(rel) => rel.apply(&me).subtract(&owned_by_m),
+            None => Set::empty(layout.rel.n_out()),
+        }
+    };
+    let nl_read_data = nl_of(&data_read);
+    let nl_write_data = nl_of(&data_write);
+
+    // Steps 4-5. NLCommMap_t(m) = Layout ∩range nlDataSet_t(m):
+    // the owner q of each non-local element m touches.
+    let nl_comm = |nl: &Set| -> Relation {
+        layout
+            .rel
+            .restrict_range(nl)
+            .restrict_domain(&others)
+    };
+    // LocalCommMap_t(m) = DataAccessed_t ∩range Layout({m}): the data owned
+    // by m that each other processor p touches.
+    let local_comm = |d: &Option<Relation>| -> Relation {
+        match d {
+            Some(rel) => rel
+                .restrict_range(&owned_by_m)
+                .restrict_domain(&others),
+            None => Relation::empty(proc_rank, layout.rel.n_out()),
+        }
+    };
+    let nl_read = nl_comm(&nl_read_data);
+    let nl_write = nl_comm(&nl_write_data);
+    let local_read = local_comm(&data_read);
+    let local_write = local_comm(&data_write);
+
+    // Steps 6-7.
+    let mut send_map = local_read.union(&nl_write);
+    let mut recv_map = nl_read.union(&local_write);
+    send_map.simplify();
+    recv_map.simplify();
+    CommSets {
+        nl_read_data,
+        nl_write_data,
+        send_map,
+        recv_map,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cp::{cp_map, cp_map_at_level, ref_map_in, slice_context};
+    use crate::ir::collect_statements;
+    use crate::layout::build_layouts;
+    use dhpf_hpf::{analyze, parse};
+
+    /// 1-D shift on a BLOCK distribution: the classic nearest-neighbour
+    /// exchange. a(i) = b(i+1) with both block-distributed: each processor
+    /// needs the first element of its right neighbour's block.
+    const SHIFT: &str = "
+program shift
+real a(100), b(100)
+!HPF$ processors p(4)
+!HPF$ template t(100)
+!HPF$ align a(i) with t(i)
+!HPF$ align b(i) with t(i)
+!HPF$ distribute t(block) onto p
+do i = 1, 99
+  a(i) = b(i+1)
+enddo
+end
+";
+
+    #[test]
+    fn shift_communication() {
+        let prog = parse(SHIFT).unwrap();
+        let a = analyze(&prog.units[0]).unwrap();
+        let layouts = build_layouts(&a);
+        let stmts = collect_statements(&a);
+        let cp = cp_map(&stmts[0], &layouts);
+        let rm = stmts[0].reads[0].ref_map(&stmts[0].ctx);
+        let sets = comm_sets(
+            &[CommRef {
+                cp_map: cp,
+                ref_map: rm,
+            }],
+            &[],
+            &layouts["b"],
+        );
+        // m = 0 owns b[1..25], computes i in [1,25], reads b[2..26]:
+        // needs b[26] from p=1.
+        let m0 = [("m1", 0i64)];
+        assert!(sets.nl_read_data.contains(&[26], &m0));
+        assert!(!sets.nl_read_data.contains(&[25], &m0));
+        assert!(!sets.nl_read_data.contains(&[27], &m0));
+        // RecvCommMap: receive b[26] from partner 1.
+        assert!(sets.recv_map.contains_pair(&[1], &[26], &m0));
+        assert!(!sets.recv_map.contains_pair(&[2], &[51], &m0));
+        // SendCommMap for m = 1: send b[26] to partner 0.
+        let m1 = [("m1", 1i64)];
+        assert!(sets.send_map.contains_pair(&[0], &[26], &m1));
+        assert!(!sets.send_map.contains_pair(&[0], &[27], &m1));
+        // Last processor owns b[76..100]; p=2 (computing i in [51,75])
+        // reads b[76], so m=3 sends exactly that element left.
+        let m3 = [("m1", 3i64)];
+        assert!(sets.send_map.contains_pair(&[2], &[76], &m3));
+        assert!(!sets.send_map.contains_pair(&[2], &[77], &m3));
+        // ... but m=3 receives nothing (it reads b[77..100], all owned).
+        for q in 0..4i64 {
+            for x in 1..=100i64 {
+                assert!(
+                    !sets.recv_map.contains_pair(&[q], &[x], &m3),
+                    "m=3 should receive nothing, got b[{x}] from {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_communication_when_aligned() {
+        // a(i) = b(i): identical layouts, no data moves.
+        let src = "
+program aligned
+real a(100), b(100)
+!HPF$ processors p(4)
+!HPF$ template t(100)
+!HPF$ align a(i) with t(i)
+!HPF$ align b(i) with t(i)
+!HPF$ distribute t(block) onto p
+do i = 1, 100
+  a(i) = b(i)
+enddo
+end
+";
+        let prog = parse(src).unwrap();
+        let a = analyze(&prog.units[0]).unwrap();
+        let layouts = build_layouts(&a);
+        let stmts = collect_statements(&a);
+        let cp = cp_map(&stmts[0], &layouts);
+        let rm = stmts[0].reads[0].ref_map(&stmts[0].ctx);
+        let sets = comm_sets(
+            &[CommRef {
+                cp_map: cp,
+                ref_map: rm,
+            }],
+            &[],
+            &layouts["b"],
+        );
+        assert!(sets.is_empty());
+    }
+
+    #[test]
+    fn coalescing_unions_two_references() {
+        // a(i) = b(i+1) + b(i+2): coalesced event needs b[B+1..B+2] once.
+        let src = "
+program coalesce
+real a(100), b(100)
+!HPF$ processors p(4)
+!HPF$ template t(100)
+!HPF$ align a(i) with t(i)
+!HPF$ align b(i) with t(i)
+!HPF$ distribute t(block) onto p
+do i = 1, 98
+  a(i) = b(i+1) + b(i+2)
+enddo
+end
+";
+        let prog = parse(src).unwrap();
+        let a = analyze(&prog.units[0]).unwrap();
+        let layouts = build_layouts(&a);
+        let stmts = collect_statements(&a);
+        let cp = cp_map(&stmts[0], &layouts);
+        let refs: Vec<CommRef> = stmts[0]
+            .reads
+            .iter()
+            .map(|r| CommRef {
+                cp_map: cp.clone(),
+                ref_map: r.ref_map(&stmts[0].ctx),
+            })
+            .collect();
+        let sets = comm_sets(&refs, &[], &layouts["b"]);
+        let m0 = [("m1", 0i64)];
+        // m=0 computes i in [1,25]; reads b[2..27]; owns b[1..25]:
+        // needs b[26], b[27] from p=1 — one coalesced message.
+        assert!(sets.recv_map.contains_pair(&[1], &[26], &m0));
+        assert!(sets.recv_map.contains_pair(&[1], &[27], &m0));
+        assert!(!sets.recv_map.contains_pair(&[1], &[28], &m0));
+    }
+
+    #[test]
+    fn non_local_writes_are_sent_to_owner() {
+        // ON_HOME b(i): the *write* to a(i+1) can be non-local.
+        let src = "
+program nlwrite
+real a(100), b(100)
+!HPF$ processors p(4)
+!HPF$ template t(100)
+!HPF$ align a(i) with t(i)
+!HPF$ align b(i) with t(i)
+!HPF$ distribute t(block) onto p
+do i = 1, 99
+!HPF$ on_home b(i)
+  a(i+1) = b(i)
+enddo
+end
+";
+        let prog = parse(src).unwrap();
+        let a = analyze(&prog.units[0]).unwrap();
+        let layouts = build_layouts(&a);
+        let stmts = collect_statements(&a);
+        let cp = cp_map(&stmts[0], &layouts);
+        let wref = CommRef {
+            cp_map: cp,
+            ref_map: stmts[0].lhs.as_ref().unwrap().ref_map(&stmts[0].ctx),
+        };
+        let sets = comm_sets(&[], &[wref], &layouts["a"]);
+        // m=0 computes i in [1,25], writes a[2..26]; owns a[1..25]:
+        // must SEND a[26] to its owner p=1.
+        let m0 = [("m1", 0i64)];
+        assert!(sets.nl_write_data.contains(&[26], &m0));
+        assert!(sets.send_map.contains_pair(&[1], &[26], &m0));
+        // And p=1 receives a[26] from p=0.
+        let m1 = [("m1", 1i64)];
+        assert!(sets.recv_map.contains_pair(&[0], &[26], &m1));
+    }
+
+    #[test]
+    fn pipeline_comm_at_inner_level() {
+        // Loop-carried use: a(i,j) = a(i-1,j) with (block, *) distribution;
+        // communication placed inside the i loop moves one row boundary cell
+        // per outer iteration.
+        let src = "
+program pipe
+real a(64,64)
+!HPF$ processors p(4)
+!HPF$ template t(64,64)
+!HPF$ align a(i,j) with t(i,j)
+!HPF$ distribute t(block,*) onto p
+do i = 2, 64
+  do j = 1, 64
+    a(i,j) = a(i-1,j)
+  enddo
+enddo
+end
+";
+        let prog = parse(src).unwrap();
+        let a = analyze(&prog.units[0]).unwrap();
+        let layouts = build_layouts(&a);
+        let stmts = collect_statements(&a);
+        // Vectorize only out of the j loop (level 1): i stays symbolic.
+        let (cp, inner) = cp_map_at_level(&stmts[0], &layouts, 1);
+        let rm = ref_map_in(&stmts[0].reads[0], &slice_context(&stmts[0].ctx, 1));
+        let sets = comm_sets(
+            &[CommRef {
+                cp_map: cp,
+                ref_map: rm,
+            }],
+            &[],
+            &layouts["a"],
+        );
+        assert_eq!(inner.vars, vec!["j".to_string()]);
+        // With B = 16: m=1 owns rows 17..32. At i = 17 it reads row 16
+        // (owned by p=0) for all j.
+        let p = [("m1", 1i64), ("i", 17)];
+        assert!(sets.recv_map.contains_pair(&[0], &[16, 1], &p));
+        assert!(sets.recv_map.contains_pair(&[0], &[16, 64], &p));
+        // At i = 18 the read row 17 is local: no communication.
+        let p2 = [("m1", 1i64), ("i", 18)];
+        assert!(!sets.recv_map.contains_pair(&[0], &[17, 1], &p2));
+    }
+}

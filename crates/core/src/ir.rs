@@ -1,0 +1,419 @@
+//! Compiler IR: loop nests, statement groups, and their iteration spaces.
+//!
+//! The analyses of the paper operate on three tuple spaces (Figure 1):
+//! `loop_k` (iteration vectors), `data_k` (array index vectors), and
+//! `proc_k` (processor index vectors). This module extracts `loop_k` and
+//! the reference mappings `RefMap: loop -> data` from the analyzed AST.
+
+use dhpf_hpf::{Affine, Analysis, Expr, Stmt, StmtKind};
+use dhpf_omega::{LinExpr, Relation, Set, Var};
+
+/// A named iteration-space context: the enclosing DO variables, outermost
+/// first, plus the constraints of their bounds.
+#[derive(Clone, Debug, Default)]
+pub struct LoopContext {
+    /// Loop variable names, outermost first.
+    pub vars: Vec<String>,
+    /// Bounds: `(lo, hi)` affine per level.
+    pub bounds: Vec<(Affine, Affine)>,
+}
+
+impl LoopContext {
+    /// Depth of the nest.
+    pub fn depth(&self) -> u32 {
+        self.vars.len() as u32
+    }
+
+    /// The iteration set `{ [i1..ik] : lo_d <= i_d <= hi_d }`.
+    pub fn iteration_set(&self) -> Set {
+        let mut rel = Relation::universe(self.depth(), 0)
+            .with_in_names(self.vars.clone());
+        let mut c = dhpf_omega::Conjunct::new();
+        for (d, (lo, hi)) in self.bounds.iter().enumerate() {
+            let v = LinExpr::var(Var::In(d as u32));
+            let lo_e = affine_to_lin(lo, &self.vars, &mut rel);
+            let hi_e = affine_to_lin(hi, &self.vars, &mut rel);
+            c.add_geq(v.clone() - lo_e);
+            c.add_geq(hi_e - v);
+        }
+        rel.conjuncts_mut().clear();
+        rel.add_conjunct(c);
+        Set::from_relation(rel)
+    }
+}
+
+/// Converts a frontend [`Affine`] into a [`LinExpr`], mapping loop variables
+/// to `In` positions and everything else to named parameters of `rel`.
+pub fn affine_to_lin(a: &Affine, loop_vars: &[String], rel: &mut Relation) -> LinExpr {
+    let mut e = LinExpr::constant(a.constant);
+    for (name, c) in &a.terms {
+        match loop_vars.iter().position(|v| v == name) {
+            Some(d) => e.add_term(Var::In(d as u32), *c),
+            None => {
+                let p = rel.ensure_param(name);
+                e.add_term(Var::Param(p), *c);
+            }
+        }
+    }
+    e
+}
+
+/// One array reference with affine subscripts.
+#[derive(Clone, Debug)]
+pub struct ArrayRef {
+    /// Array name.
+    pub array: String,
+    /// One affine subscript per array dimension.
+    pub subs: Vec<Affine>,
+    /// True for the left-hand side of an assignment.
+    pub is_write: bool,
+}
+
+impl ArrayRef {
+    /// Builds `RefMap: loop_k -> data_r` for this reference within `ctx`.
+    pub fn ref_map(&self, ctx: &LoopContext) -> Relation {
+        let rank = self.subs.len() as u32;
+        let mut rel = Relation::universe(ctx.depth(), rank)
+            .with_in_names(ctx.vars.clone())
+            .with_out_names((0..rank).map(|d| format!("a{}", d + 1)));
+        let mut c = dhpf_omega::Conjunct::new();
+        for (d, sub) in self.subs.iter().enumerate() {
+            let e = affine_to_lin(sub, &ctx.vars, &mut rel);
+            c.add_eq(LinExpr::var(Var::Out(d as u32)) - e);
+        }
+        rel.conjuncts_mut().clear();
+        rel.add_conjunct(c);
+        rel
+    }
+}
+
+/// One assignment statement with its analysis artifacts.
+#[derive(Clone, Debug)]
+pub struct StmtInfo {
+    /// Index of this statement in the group (source order).
+    pub index: usize,
+    /// The original statement.
+    pub stmt: Stmt,
+    /// Enclosing loops.
+    pub ctx: LoopContext,
+    /// LHS reference (None for scalar assignment).
+    pub lhs: Option<ArrayRef>,
+    /// RHS array reads with affine subscripts.
+    pub reads: Vec<ArrayRef>,
+    /// RHS reads with non-affine subscripts (degrade gracefully).
+    pub non_affine_reads: Vec<String>,
+    /// ON_HOME terms (defaults to the LHS when absent).
+    pub on_home: Vec<ArrayRef>,
+    /// Conditions of enclosing IF statements (evaluated at runtime by the
+    /// SPMD executor; analysis over-approximates by ignoring them).
+    pub guards: Vec<Expr>,
+    /// Scalar reduction recognized on this statement
+    /// (`s = s + e`, `s = max(s, e)`, ...).
+    pub reduction: Option<Reduction>,
+}
+
+/// A recognized scalar reduction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reduction {
+    /// Accumulator scalar name.
+    pub scalar: String,
+    /// Combining operation.
+    pub op: ReduceOp,
+}
+
+/// Reduction combiners.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum.
+    Add,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+}
+
+/// Walks the executable statements of a unit, producing [`StmtInfo`] for
+/// every assignment, in source order.
+pub fn collect_statements(analysis: &Analysis) -> Vec<StmtInfo> {
+    collect_in(analysis, &analysis.unit.body)
+}
+
+/// Like [`collect_statements`], but over an arbitrary statement list (used
+/// to analyze one parallel nest at a time; enclosing serial-loop variables
+/// then appear as free symbolic names).
+pub fn collect_in(analysis: &Analysis, body: &[Stmt]) -> Vec<StmtInfo> {
+    let mut out = Vec::new();
+    let mut ctx = LoopContext::default();
+    walk(analysis, body, &mut ctx, &mut out);
+    out
+}
+
+fn walk(a: &Analysis, body: &[Stmt], ctx: &mut LoopContext, out: &mut Vec<StmtInfo>) {
+    walk_guarded(a, body, ctx, &mut Vec::new(), out)
+}
+
+fn walk_guarded(
+    a: &Analysis,
+    body: &[Stmt],
+    ctx: &mut LoopContext,
+    guards: &mut Vec<Expr>,
+    out: &mut Vec<StmtInfo>,
+) {
+    for s in body {
+        match &s.kind {
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step: _,
+                body,
+            } => {
+                let lo_a = a
+                    .affine_of(lo, &ctx.vars)
+                    .unwrap_or_else(|| Affine::constant(1));
+                let hi_a = a
+                    .affine_of(hi, &ctx.vars)
+                    .unwrap_or_else(|| Affine::constant(0));
+                ctx.vars.push(var.clone());
+                ctx.bounds.push((lo_a, hi_a));
+                walk_guarded(a, body, ctx, guards, out);
+                ctx.vars.pop();
+                ctx.bounds.pop();
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                guards.push(cond.clone());
+                walk_guarded(a, then_body, ctx, guards, out);
+                guards.pop();
+                guards.push(Expr::Un(dhpf_hpf::UnOp::Not, Box::new(cond.clone())));
+                walk_guarded(a, else_body, ctx, guards, out);
+                guards.pop();
+            }
+            StmtKind::Assign {
+                name, subs, rhs, on_home,
+            } => {
+                let index = out.len();
+                let lhs = if a.is_array(name) {
+                    Some(make_ref(a, name, subs, ctx, true))
+                } else {
+                    None
+                };
+                let mut reads = Vec::new();
+                let mut non_affine = Vec::new();
+                collect_reads(a, rhs, ctx, &mut reads, &mut non_affine);
+                let oh: Vec<ArrayRef> = match on_home {
+                    Some(refs) => refs
+                        .iter()
+                        .map(|(n, ss)| make_ref(a, n, ss, ctx, false))
+                        .collect(),
+                    None => match &lhs {
+                        Some(l) => vec![l.clone()],
+                        None => Vec::new(),
+                    },
+                };
+                let reduction = recognize_reduction(name, subs, rhs, a);
+                out.push(StmtInfo {
+                    index,
+                    stmt: s.clone(),
+                    ctx: ctx.clone(),
+                    lhs,
+                    reads,
+                    non_affine_reads: non_affine,
+                    on_home: oh,
+                    guards: guards.clone(),
+                    reduction,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+fn make_ref(
+    a: &Analysis,
+    name: &str,
+    subs: &[Expr],
+    ctx: &LoopContext,
+    is_write: bool,
+) -> ArrayRef {
+    let affine_subs: Vec<Affine> = subs
+        .iter()
+        .map(|e| {
+            a.affine_of(e, &ctx.vars)
+                .unwrap_or_else(|| Affine::var("?nonaffine"))
+        })
+        .collect();
+    ArrayRef {
+        array: name.to_string(),
+        subs: affine_subs,
+        is_write,
+    }
+}
+
+fn collect_reads(
+    a: &Analysis,
+    e: &Expr,
+    ctx: &LoopContext,
+    out: &mut Vec<ArrayRef>,
+    non_affine: &mut Vec<String>,
+) {
+    match e {
+        Expr::Ref(name, args) => {
+            if a.is_array(name) {
+                let ok = args.iter().all(|s| a.affine_of(s, &ctx.vars).is_some());
+                if ok {
+                    out.push(make_ref(a, name, args, ctx, false));
+                } else {
+                    non_affine.push(name.clone());
+                }
+                for arg in args {
+                    collect_reads(a, arg, ctx, out, non_affine);
+                }
+            } else {
+                // intrinsic call: scan arguments
+                for arg in args {
+                    collect_reads(a, arg, ctx, out, non_affine);
+                }
+            }
+        }
+        Expr::Bin(_, x, y) => {
+            collect_reads(a, x, ctx, out, non_affine);
+            collect_reads(a, y, ctx, out, non_affine);
+        }
+        Expr::Un(_, x) => collect_reads(a, x, ctx, out, non_affine),
+        _ => {}
+    }
+}
+
+/// Recognizes `s = s + e`, `s = s - e`, `s = max(s, e)`, `s = min(s, e)`
+/// for a scalar `s`.
+fn recognize_reduction(
+    name: &str,
+    subs: &[Expr],
+    rhs: &Expr,
+    a: &Analysis,
+) -> Option<Reduction> {
+    if !subs.is_empty() || a.is_array(name) {
+        return None;
+    }
+    let mentions_self = |e: &Expr| expr_mentions(e, name);
+    match rhs {
+        Expr::Bin(dhpf_hpf::BinOp::Add, x, y) => {
+            if matches!(&**x, Expr::Var(v) if v == name) && !mentions_self(y) {
+                return Some(Reduction {
+                    scalar: name.to_string(),
+                    op: ReduceOp::Add,
+                });
+            }
+            if matches!(&**y, Expr::Var(v) if v == name) && !mentions_self(x) {
+                return Some(Reduction {
+                    scalar: name.to_string(),
+                    op: ReduceOp::Add,
+                });
+            }
+            None
+        }
+        Expr::Ref(f, args) if (f == "max" || f == "min") && args.len() == 2 => {
+            let op = if f == "max" {
+                ReduceOp::Max
+            } else {
+                ReduceOp::Min
+            };
+            let self_first =
+                matches!(&args[0], Expr::Var(v) if v == name) && !mentions_self(&args[1]);
+            let self_second =
+                matches!(&args[1], Expr::Var(v) if v == name) && !mentions_self(&args[0]);
+            if self_first || self_second {
+                return Some(Reduction {
+                    scalar: name.to_string(),
+                    op,
+                });
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn expr_mentions(e: &Expr, name: &str) -> bool {
+    match e {
+        Expr::Var(v) => v == name,
+        Expr::Ref(_, args) => args.iter().any(|a| expr_mentions(a, name)),
+        Expr::Bin(_, a, b) => expr_mentions(a, name) || expr_mentions(b, name),
+        Expr::Un(_, a) => expr_mentions(a, name),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhpf_hpf::{analyze, parse};
+
+    const SRC: &str = "
+program t
+real a(100,100), b(100,100)
+real err
+integer n
+read *, n
+do i = 1, n
+  do j = 2, n+1
+    a(i,j) = b(j-1,i)
+    err = max(err, a(i,j))
+  enddo
+enddo
+end
+";
+
+    #[test]
+    fn collects_statements_with_contexts() {
+        let prog = parse(SRC).unwrap();
+        let a = analyze(&prog.units[0]).unwrap();
+        let stmts = collect_statements(&a);
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0].ctx.vars, vec!["i".to_string(), "j".to_string()]);
+        let iter = stmts[0].ctx.iteration_set();
+        assert!(iter.contains(&[1, 2], &[("n", 5)]));
+        assert!(iter.contains(&[5, 6], &[("n", 5)]));
+        assert!(!iter.contains(&[6, 2], &[("n", 5)]));
+    }
+
+    #[test]
+    fn ref_map_matches_figure2() {
+        let prog = parse(SRC).unwrap();
+        let a = analyze(&prog.units[0]).unwrap();
+        let stmts = collect_statements(&a);
+        // B(j-1, i): {[i,j] -> [b1,b2] : b1 = j-1 && b2 = i}
+        let rm = stmts[0].reads[0].ref_map(&stmts[0].ctx);
+        assert!(rm.contains_pair(&[3, 7], &[6, 3], &[]));
+        assert!(!rm.contains_pair(&[3, 7], &[7, 3], &[]));
+    }
+
+    #[test]
+    fn reduction_recognized() {
+        let prog = parse(SRC).unwrap();
+        let a = analyze(&prog.units[0]).unwrap();
+        let stmts = collect_statements(&a);
+        assert_eq!(
+            stmts[1].reduction,
+            Some(Reduction {
+                scalar: "err".to_string(),
+                op: ReduceOp::Max
+            })
+        );
+        // And the reduction statement's reads include a(i,j).
+        assert_eq!(stmts[1].reads[0].array, "a");
+    }
+
+    #[test]
+    fn on_home_defaults_to_lhs() {
+        let prog = parse(SRC).unwrap();
+        let a = analyze(&prog.units[0]).unwrap();
+        let stmts = collect_statements(&a);
+        assert_eq!(stmts[0].on_home.len(), 1);
+        assert_eq!(stmts[0].on_home[0].array, "a");
+    }
+}

@@ -1,0 +1,33 @@
+//! # dhpf-core — the dHPF compiler analyses and optimizations
+//!
+//! The paper's primary contribution, reproduced: computation partitioning
+//! with the general ON_HOME model, integer-set communication analysis
+//! (Figure 3), loop splitting (Figure 4), in-place communication
+//! recognition (§3.3), the optimized virtual-processor model for symbolic
+//! distribution parameters (§4, Figure 5), and SPMD program synthesis.
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod cp;
+pub mod dependence;
+pub mod driver;
+pub mod phases;
+pub mod spmd;
+pub mod inplace;
+pub mod split;
+pub mod vp;
+pub mod ir;
+pub mod layout;
+
+pub use ir::{collect_statements, ArrayRef, LoopContext, ReduceOp, Reduction, StmtInfo};
+pub use comm::{comm_sets, CommRef, CommSets};
+pub use cp::{cp_map, cp_map_at_level, myid_set};
+pub use dependence::{carried_level, placement_level};
+pub use driver::{compile, CompileOptions, CompileReport, Compiled};
+pub use phases::PhaseTimers;
+pub use spmd::{build_spmd, CommEvent, CompileError, CompiledStmt, NestItem, NestOp, SpmdItem, SpmdOptions, SpmdProgram};
+pub use inplace::{contiguity, Contiguity, RuntimeCheck};
+pub use layout::{build_layouts, Layout, ProcCoord};
+pub use split::{split_sets, SplitSets};
+pub use vp::{active_vp_sets, ActiveVpSets};

@@ -1,0 +1,105 @@
+//! Compilation phase timing (the instrumentation behind Table 1).
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Accumulated wall-clock time per named compilation phase.
+///
+/// Phases nest; times recorded for a phase include its children (matching
+/// the paper's Table 1, where indented rows refine their parents).
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimers {
+    totals: BTreeMap<String, Duration>,
+    order: Vec<String>,
+    start: Option<Instant>,
+    overall: Duration,
+}
+
+impl PhaseTimers {
+    /// Creates an empty set of timers and starts the overall clock.
+    pub fn new() -> Self {
+        PhaseTimers {
+            start: Some(Instant::now()),
+            ..Default::default()
+        }
+    }
+
+    /// Times `f` under the phase `name`, accumulating across calls.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> T) -> T {
+        let t0 = Instant::now();
+        let out = f(self);
+        let dt = t0.elapsed();
+        if !self.totals.contains_key(name) {
+            self.order.push(name.to_string());
+        }
+        *self.totals.entry(name.to_string()).or_default() += dt;
+        out
+    }
+
+    /// Adds an externally measured duration to the phase `name`.
+    pub fn add(&mut self, name: &str, dt: Duration) {
+        if !self.totals.contains_key(name) {
+            self.order.push(name.to_string());
+        }
+        *self.totals.entry(name.to_string()).or_default() += dt;
+    }
+
+    /// Stops the overall clock.
+    pub fn finish(&mut self) {
+        if let Some(t0) = self.start.take() {
+            self.overall = t0.elapsed();
+        }
+    }
+
+    /// Total compilation time.
+    pub fn total(&self) -> Duration {
+        self.overall
+    }
+
+    /// Time accumulated under `name`.
+    pub fn phase(&self, name: &str) -> Duration {
+        self.totals.get(name).copied().unwrap_or_default()
+    }
+
+    /// `(phase, time, percent-of-total)` rows in first-use order.
+    pub fn rows(&self) -> Vec<(String, Duration, f64)> {
+        let total = self.overall.as_secs_f64().max(1e-12);
+        self.order
+            .iter()
+            .map(|name| {
+                let d = self.totals[name];
+                (name.clone(), d, 100.0 * d.as_secs_f64() / total)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_calls() {
+        let mut t = PhaseTimers::new();
+        t.time("a", |_| std::thread::sleep(Duration::from_millis(2)));
+        t.time("a", |_| std::thread::sleep(Duration::from_millis(2)));
+        t.time("b", |_| ());
+        t.finish();
+        assert!(t.phase("a") >= Duration::from_millis(4));
+        assert!(t.total() >= t.phase("a"));
+        let rows = t.rows();
+        assert_eq!(rows[0].0, "a");
+        assert_eq!(rows[1].0, "b");
+        assert!(rows[0].2 > 0.0);
+    }
+
+    #[test]
+    fn nesting_supported() {
+        let mut t = PhaseTimers::new();
+        t.time("outer", |t| {
+            t.time("inner", |_| std::thread::sleep(Duration::from_millis(1)));
+        });
+        t.finish();
+        assert!(t.phase("outer") >= t.phase("inner"));
+    }
+}

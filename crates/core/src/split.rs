@@ -1,0 +1,172 @@
+//! Loop splitting (non-local index-set splitting), Figure 4.
+//!
+//! Splits the iterations of a partitioned loop nest into four sections:
+//! those touching only local data (`local`), and those reading / writing /
+//! both reading-and-writing non-local data (`nl_ro`, `nl_wo`, `nl_rw`),
+//! enabling communication–computation overlap and check-free local buffer
+//! access (paper §3.4).
+
+use crate::comm::CommRef;
+use crate::cp::myid_set;
+use crate::layout::Layout;
+use dhpf_omega::Set;
+
+/// The four iteration sections of Figure 4(a), over the loop tuple, with
+/// `m1..mr` (myid) as symbolic parameters.
+#[derive(Clone, Debug)]
+pub struct SplitSets {
+    /// Iterations accessing only local data.
+    pub local: Set,
+    /// Iterations that only *read* non-local data.
+    pub nl_ro: Set,
+    /// Iterations that only *write* non-local data.
+    pub nl_wo: Set,
+    /// Iterations that both read and write non-local data.
+    pub nl_rw: Set,
+}
+
+impl SplitSets {
+    /// The scheduling order of Figure 4(b): sections in the order they
+    /// should execute to overlap read latency with local computation.
+    pub fn schedule(&self) -> [(&'static str, &Set); 4] {
+        [
+            ("NLWOIters", &self.nl_wo),
+            ("LocalIters", &self.local),
+            ("NLROIters", &self.nl_ro),
+            ("NLRWIters", &self.nl_rw),
+        ]
+    }
+}
+
+/// Computes the Figure 4(a) iteration sections for one statement group.
+///
+/// Each entry of `reads`/`writes` pairs a reference with its array's
+/// layout; `cp_iter_set` is `CPMap({m})`, the group's partitioned
+/// iteration set.
+///
+/// # Panics
+///
+/// Panics if set arities are inconsistent (a compiler-internal error).
+pub fn split_sets(
+    cp_iter_set: &Set,
+    reads: &[(&CommRef, &Layout)],
+    writes: &[(&CommRef, &Layout)],
+) -> SplitSets {
+    // localIters_r = RefMap_r⁻¹(localDataAccessed_r); we intersect across
+    // references first (the paper's reformulation to limit disjunctions).
+    let local_iters = |refs: &[(&CommRef, &Layout)]| -> Set {
+        let mut acc = cp_iter_set.clone();
+        for (r, layout) in refs {
+            let me = myid_set(layout.proc_rank());
+            let owned = layout.rel.apply(&me);
+            let data_accessed = r.ref_map.apply(cp_iter_set);
+            let local_data = data_accessed.intersection(&owned);
+            let mut li = r.ref_map.apply_inverse(&local_data);
+            // Restrict to iterations whose *own* access is local:
+            // iterations whose referenced element is non-local must go.
+            let nl_data = data_accessed.subtract(&owned);
+            let nl_iters = r.ref_map.apply_inverse(&nl_data);
+            li = li.subtract(&nl_iters);
+            acc = acc.intersection(&li);
+        }
+        acc.intersection(cp_iter_set)
+    };
+    let local_read = local_iters(reads);
+    let local_write = local_iters(writes);
+    let nl_read = cp_iter_set.subtract(&local_read);
+    let nl_write = cp_iter_set.subtract(&local_write);
+    let nl_rw = nl_read.intersection(&nl_write);
+    let nl_ro = nl_read.subtract(&nl_write);
+    let nl_wo = nl_write.subtract(&nl_read);
+    let mut local = local_read.intersection(&local_write);
+    local.simplify();
+    SplitSets {
+        local,
+        nl_ro,
+        nl_wo,
+        nl_rw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommRef;
+    use crate::cp::cp_map;
+    use crate::ir::collect_statements;
+    use crate::layout::build_layouts;
+    use dhpf_hpf::{analyze, parse};
+
+    const SHIFT: &str = "
+program shift
+real a(100), b(100)
+!HPF$ processors p(4)
+!HPF$ template t(100)
+!HPF$ align a(i) with t(i)
+!HPF$ align b(i) with t(i)
+!HPF$ distribute t(block) onto p
+do i = 1, 99
+  a(i) = b(i+1)
+enddo
+end
+";
+
+    #[test]
+    fn shift_splits_off_last_local_iteration() {
+        let prog = parse(SHIFT).unwrap();
+        let a = analyze(&prog.units[0]).unwrap();
+        let layouts = build_layouts(&a);
+        let stmts = collect_statements(&a);
+        let cp = cp_map(&stmts[0], &layouts);
+        let mine = cp.apply(&myid_set(1));
+        let rref = CommRef {
+            cp_map: cp.clone(),
+            ref_map: stmts[0].reads[0].ref_map(&stmts[0].ctx),
+        };
+        let wref = CommRef {
+            cp_map: cp.clone(),
+            ref_map: stmts[0].lhs.as_ref().unwrap().ref_map(&stmts[0].ctx),
+        };
+        let s = split_sets(&mine, &[(&rref, &layouts["b"])], &[(&wref, &layouts["a"])]);
+        // m=0 computes i in [1,25]; i=25 reads b[26] (non-local, read-only);
+        // writes a(i) always local.
+        let m0 = [("m1", 0i64)];
+        for i in 1..=24i64 {
+            assert!(s.local.contains(&[i], &m0), "i = {i} should be local");
+        }
+        assert!(!s.local.contains(&[25], &m0));
+        assert!(s.nl_ro.contains(&[25], &m0));
+        assert!(!s.nl_ro.contains(&[24], &m0));
+        assert!(s.nl_wo.as_relation().is_empty());
+        assert!(s.nl_rw.as_relation().is_empty());
+        // Last processor m=3 computes i in [76,99], all local.
+        let m3 = [("m1", 3i64)];
+        assert!(s.local.contains(&[99], &m3));
+        assert!(!s.nl_ro.contains(&[99], &m3));
+    }
+
+    #[test]
+    fn sections_partition_the_iteration_set() {
+        let prog = parse(SHIFT).unwrap();
+        let a = analyze(&prog.units[0]).unwrap();
+        let layouts = build_layouts(&a);
+        let stmts = collect_statements(&a);
+        let cp = cp_map(&stmts[0], &layouts);
+        let mine = cp.apply(&myid_set(1));
+        let rref = CommRef {
+            cp_map: cp.clone(),
+            ref_map: stmts[0].reads[0].ref_map(&stmts[0].ctx),
+        };
+        let s = split_sets(&mine, &[(&rref, &layouts["b"])], &[]);
+        // local ∪ nl_ro ∪ nl_wo ∪ nl_rw == cpIterSet, pairwise disjoint.
+        let u = s
+            .local
+            .union(&s.nl_ro)
+            .union(&s.nl_wo)
+            .union(&s.nl_rw);
+        assert!(u.equal(&mine));
+        assert!(s.local.intersection(&s.nl_ro).as_relation().is_empty());
+        assert!(s.local.intersection(&s.nl_rw).as_relation().is_empty());
+        assert!(s.nl_ro.intersection(&s.nl_wo).as_relation().is_empty());
+    }
+}

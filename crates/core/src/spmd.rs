@@ -1,0 +1,1138 @@
+//! SPMD program synthesis: partitioned loop nests, communication events,
+//! loop splitting, and reductions, assembled into an executable per-rank
+//! program (interpreted by `dhpf-sim`).
+
+use crate::comm::{comm_sets, CommRef};
+use crate::cp::{cp_map_at_level, myid_set, proc_rank_of, slice_context};
+use crate::dependence::placement_level;
+use crate::inplace::{contiguity, Contiguity};
+use crate::ir::{collect_in, ArrayRef, Reduction, StmtInfo};
+use crate::layout::{Layout, ProcCoord};
+use crate::split::split_sets;
+use dhpf_codegen::{codegen, Code, CodegenOptions, Mapping, StmtId};
+use dhpf_hpf::{Affine, Analysis, Expr, Stmt, StmtKind, TypeName};
+use dhpf_omega::{Relation, Set, Var};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from SPMD synthesis.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// Frontend error.
+    Frontend(dhpf_hpf::HpfError),
+    /// A construct the SPMD generator does not support.
+    Unsupported(String),
+    /// Loop synthesis failed.
+    Codegen(dhpf_codegen::CodegenError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Frontend(e) => write!(f, "{e}"),
+            CompileError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+            CompileError::Codegen(e) => write!(f, "code generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<dhpf_hpf::HpfError> for CompileError {
+    fn from(e: dhpf_hpf::HpfError) -> Self {
+        CompileError::Frontend(e)
+    }
+}
+
+impl From<dhpf_codegen::CodegenError> for CompileError {
+    fn from(e: dhpf_codegen::CodegenError) -> Self {
+        CompileError::Codegen(e)
+    }
+}
+
+/// One compiled assignment statement.
+#[derive(Clone, Debug)]
+pub struct CompiledStmt {
+    /// Target name (array or scalar).
+    pub lhs: String,
+    /// LHS subscripts (empty for scalars).
+    pub subs: Vec<Expr>,
+    /// Right-hand side.
+    pub rhs: Expr,
+    /// Enclosing IF conditions (all must hold).
+    pub guards: Vec<Expr>,
+    /// Floating-point operation count (for the machine model).
+    pub cost: u64,
+}
+
+/// Operations referenced by `Code::Stmt` ids inside a nest.
+#[derive(Clone, Debug)]
+pub enum NestOp {
+    /// Execute an assignment instance.
+    Assign(CompiledStmt),
+    /// Pack and send all messages of a communication event.
+    CommSend(usize),
+    /// Receive and unpack all messages of a communication event.
+    CommRecv(usize),
+}
+
+/// A communication event: what `myid` sends and receives.
+#[derive(Clone, Debug)]
+pub struct CommEvent {
+    /// Event id (message tag).
+    pub id: usize,
+    /// The communicated array.
+    pub array: String,
+    /// Code enumerating `SendCommMap(m)` over `[q1..qr, d1..dk]`.
+    pub send_code: Code,
+    /// Code enumerating `RecvCommMap(m)` over `[q1..qr, d1..dk]`.
+    pub recv_code: Code,
+    /// Processor-space rank.
+    pub proc_rank: u32,
+    /// Array rank.
+    pub data_rank: u32,
+    /// True if §3.3 proved the messages contiguous (in-place eligible:
+    /// the simulator charges no pack/unpack copy cost).
+    pub contiguous: bool,
+    /// Loop level the event was vectorized to (0 = out of the whole nest).
+    pub level: u32,
+}
+
+/// A partitioned loop nest with embedded communication markers.
+#[derive(Clone, Debug)]
+pub struct NestItem {
+    /// The generated code; `Stmt(id)` indexes into `ops`.
+    pub code: Code,
+    /// Operation table.
+    pub ops: Vec<NestOp>,
+    /// Reductions to combine after the nest (scalar, op).
+    pub reductions: Vec<Reduction>,
+    /// True if Figure-4 loop splitting restructured this nest.
+    pub split: bool,
+}
+
+/// One element of the SPMD program.
+#[derive(Clone, Debug)]
+pub enum SpmdItem {
+    /// A statement replicated on every rank (`read`, `print`, pure-scalar
+    /// assignments and IFs).
+    Serial(Stmt),
+    /// A replicated (time-step) loop whose body is more items.
+    SerialLoop {
+        /// Loop variable (bound in every rank's environment).
+        var: String,
+        /// Lower bound.
+        lo: Expr,
+        /// Upper bound.
+        hi: Expr,
+        /// Body items.
+        body: Vec<SpmdItem>,
+    },
+    /// A partitioned nest.
+    Nest(NestItem),
+}
+
+/// Per-dimension processor grid specification.
+#[derive(Clone, Debug)]
+pub struct ProcDimSpec {
+    /// The dimension's realization.
+    pub coord: ProcCoord,
+    /// Distributed template extent (needed to compute block sizes for
+    /// symbolic distributions).
+    pub extent: Option<Affine>,
+}
+
+/// Array allocation info.
+#[derive(Clone, Debug)]
+pub struct ArraySpec {
+    /// Per-dimension `(lower, upper)` bounds.
+    pub dims: Vec<(Affine, Affine)>,
+    /// Element type.
+    pub ty: TypeName,
+    /// Code enumerating the locally-owned index set (for result gathering);
+    /// `None` for replicated arrays.
+    pub owned_code: Option<Code>,
+}
+
+/// The compiled SPMD program.
+#[derive(Clone, Debug)]
+pub struct SpmdProgram {
+    /// Program name.
+    pub name: String,
+    /// Processor grid dimensions.
+    pub proc_dims: Vec<ProcDimSpec>,
+    /// Array allocations.
+    pub arrays: BTreeMap<String, ArraySpec>,
+    /// Runtime input scalars (from `read`).
+    pub inputs: Vec<String>,
+    /// The program body.
+    pub items: Vec<SpmdItem>,
+    /// All communication events (indexed by [`CommEvent::id`]).
+    pub events: Vec<CommEvent>,
+}
+
+/// Statistics gathered during synthesis (feeds the Table 1 harness).
+#[derive(Clone, Debug, Default)]
+pub struct SpmdStats {
+    /// Number of communication events generated.
+    pub comm_events: usize,
+    /// Events vectorized out of the full nest.
+    pub fully_vectorized: usize,
+    /// Events proven contiguous (§3.3).
+    pub contiguous_events: usize,
+    /// Nests restructured by loop splitting.
+    pub split_nests: usize,
+    /// Coalesced reference groups (more than one reference per event).
+    pub coalesced_groups: usize,
+}
+
+/// Options for SPMD synthesis.
+#[derive(Clone, Debug)]
+pub struct SpmdOptions {
+    /// Apply Figure-4 loop splitting for communication overlap.
+    pub loop_splitting: bool,
+}
+
+impl Default for SpmdOptions {
+    fn default() -> Self {
+        SpmdOptions {
+            loop_splitting: true,
+        }
+    }
+}
+
+/// Context shared across synthesis.
+pub(crate) struct Synth<'a> {
+    analysis: &'a Analysis,
+    layouts: &'a BTreeMap<String, Layout>,
+    opts: &'a SpmdOptions,
+    events: Vec<CommEvent>,
+    stats: SpmdStats,
+    timers: Option<&'a mut crate::phases::PhaseTimers>,
+}
+
+impl Synth<'_> {
+    fn time<T>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> T) -> T {
+        // PhaseTimers::time needs &mut PhaseTimers; emulate with manual timing
+        // so we can keep borrowing self.
+        let t0 = std::time::Instant::now();
+        let out = f(self);
+        if let Some(t) = self.timers.as_mut() {
+            t.add(name, t0.elapsed());
+        }
+        out
+    }
+}
+
+/// Synthesizes the SPMD program for one analyzed unit.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Unsupported`] for constructs outside the SPMD
+/// subset (e.g. subroutine calls) and [`CompileError::Codegen`] if loop
+/// synthesis fails.
+pub fn build_spmd(
+    analysis: &Analysis,
+    layouts: &BTreeMap<String, Layout>,
+    opts: &SpmdOptions,
+    timers: Option<&mut crate::phases::PhaseTimers>,
+) -> Result<(SpmdProgram, SpmdStats), CompileError> {
+    let mut synth = Synth {
+        analysis,
+        layouts,
+        opts,
+        events: Vec::new(),
+        stats: SpmdStats::default(),
+        timers,
+    };
+    let items = build_items(&mut synth, &analysis.unit.body)?;
+    // Processor grid: from the distributed layouts (all share one arrangement).
+    let proc_dims = grid_of(analysis, layouts);
+    // Arrays.
+    let mut arrays = BTreeMap::new();
+    for (name, info) in &analysis.arrays {
+        let layout = &layouts[name];
+        let owned_code = if layout.replicated {
+            None
+        } else {
+            let owned = layout.rel.apply(&myid_set(layout.proc_rank()));
+            let names: Vec<String> = (0..info.dims.len())
+                .map(|d| format!("d{}", d + 1))
+                .collect();
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            Some(dhpf_codegen::codegen_set(
+                &owned,
+                StmtId(0),
+                &name_refs,
+                &CodegenOptions::default(),
+            )?)
+        };
+        arrays.insert(
+            name.clone(),
+            ArraySpec {
+                dims: info.dims.clone(),
+                ty: info.ty,
+                owned_code,
+            },
+        );
+    }
+    let mut inputs = Vec::new();
+    collect_inputs(&analysis.unit.body, &mut inputs);
+    let program = SpmdProgram {
+        name: analysis.unit.name.clone(),
+        proc_dims,
+        arrays,
+        inputs,
+        items,
+        events: synth.events,
+    };
+    Ok((program, synth.stats))
+}
+
+fn grid_of(analysis: &Analysis, layouts: &BTreeMap<String, Layout>) -> Vec<ProcDimSpec> {
+    // Find a non-replicated layout and take its coordinate structure,
+    // pairing each processor dimension with its template extent.
+    for (aname, l) in layouts {
+        if l.replicated {
+            continue;
+        }
+        let info = &analysis.arrays[aname];
+        let Some(align) = &info.align else { continue };
+        let Some(t) = analysis.templates.get(&align.template) else {
+            continue;
+        };
+        let Some(dist) = &t.dist else { continue };
+        let mut out = Vec::new();
+        let mut pdim = 0;
+        for (tdim, f) in dist.formats.iter().enumerate() {
+            if matches!(f, dhpf_hpf::DistFormat::Star) {
+                continue;
+            }
+            out.push(ProcDimSpec {
+                coord: l.coords[pdim].clone(),
+                extent: Some(t.extents[tdim].clone()),
+            });
+            pdim += 1;
+        }
+        return out;
+    }
+    vec![ProcDimSpec {
+        coord: ProcCoord::Physical { count: 1 },
+        extent: None,
+    }]
+}
+
+fn collect_inputs(body: &[Stmt], out: &mut Vec<String>) {
+    for s in body {
+        match &s.kind {
+            StmtKind::Read { vars } => out.extend(vars.iter().cloned()),
+            StmtKind::Do { body, .. } => collect_inputs(body, out),
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_inputs(then_body, out);
+                collect_inputs(else_body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Item structure
+// ---------------------------------------------------------------------------
+
+fn build_items(synth: &mut Synth, body: &[Stmt]) -> Result<Vec<SpmdItem>, CompileError> {
+    let mut items = Vec::new();
+    let mut pending: Vec<Stmt> = Vec::new(); // consecutive nest-able stmts
+    for s in body {
+        match &s.kind {
+            StmtKind::Read { .. } | StmtKind::Print { .. } => {
+                flush_nest(synth, &mut pending, &mut items)?;
+                items.push(SpmdItem::Serial(s.clone()));
+            }
+            StmtKind::Call { name, .. } => {
+                return Err(CompileError::Unsupported(format!(
+                    "call to '{name}' (inline subroutines before SPMD synthesis)"
+                )));
+            }
+            StmtKind::Assign { name, rhs, .. } => {
+                if !synth.analysis.is_array(name) && !reads_distributed_array(synth, rhs) {
+                    // Pure scalar statement: replicated.
+                    flush_nest(synth, &mut pending, &mut items)?;
+                    items.push(SpmdItem::Serial(s.clone()));
+                } else {
+                    pending.push(s.clone());
+                }
+            }
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                if is_pure_scalar_block(synth, then_body) && is_pure_scalar_block(synth, else_body)
+                {
+                    flush_nest(synth, &mut pending, &mut items)?;
+                    items.push(SpmdItem::Serial(s.clone()));
+                } else {
+                    // An IF with array assignments forms its own nest; do
+                    // not fuse with neighbouring statements.
+                    flush_nest(synth, &mut pending, &mut items)?;
+                    let nest = build_nest(synth, std::slice::from_ref(s))?;
+                    items.push(SpmdItem::Nest(nest));
+                }
+            }
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                body: do_body,
+                ..
+            } => {
+                if is_serial_loop(synth, var, do_body) {
+                    flush_nest(synth, &mut pending, &mut items)?;
+                    let inner = build_items(synth, do_body)?;
+                    items.push(SpmdItem::SerialLoop {
+                        var: var.clone(),
+                        lo: lo.clone(),
+                        hi: hi.clone(),
+                        body: inner,
+                    });
+                } else {
+                    // Each parallel DO nest stands alone: fusing separate
+                    // source loops could violate dependences.
+                    flush_nest(synth, &mut pending, &mut items)?;
+                    let nest = build_nest(synth, std::slice::from_ref(s))?;
+                    items.push(SpmdItem::Nest(nest));
+                }
+            }
+        }
+    }
+    flush_nest(synth, &mut pending, &mut items)?;
+    Ok(items)
+}
+
+fn flush_nest(
+    synth: &mut Synth,
+    pending: &mut Vec<Stmt>,
+    items: &mut Vec<SpmdItem>,
+) -> Result<(), CompileError> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let body = std::mem::take(pending);
+    let nest = build_nest(synth, &body)?;
+    items.push(SpmdItem::Nest(nest));
+    Ok(())
+}
+
+fn reads_distributed_array(synth: &Synth, e: &Expr) -> bool {
+    match e {
+        Expr::Ref(name, args) => {
+            (synth.analysis.is_array(name)
+                && !synth.layouts[name].replicated)
+                || args.iter().any(|a| reads_distributed_array(synth, a))
+        }
+        Expr::Bin(_, a, b) => {
+            reads_distributed_array(synth, a) || reads_distributed_array(synth, b)
+        }
+        Expr::Un(_, a) => reads_distributed_array(synth, a),
+        _ => false,
+    }
+}
+
+fn is_pure_scalar_block(synth: &Synth, body: &[Stmt]) -> bool {
+    body.iter().all(|s| match &s.kind {
+        StmtKind::Assign { name, rhs, .. } => {
+            !synth.analysis.is_array(name) && !reads_distributed_array(synth, rhs)
+        }
+        StmtKind::Print { .. } => true,
+        StmtKind::If {
+            then_body,
+            else_body,
+            ..
+        } => is_pure_scalar_block(synth, then_body) && is_pure_scalar_block(synth, else_body),
+        _ => false,
+    })
+}
+
+/// A DO loop is *serial* (replicated, e.g. a time-step or convergence loop)
+/// when its index never appears in a subscript of a distributed array.
+fn is_serial_loop(synth: &Synth, var: &str, body: &[Stmt]) -> bool {
+    !var_in_distributed_subscript(synth, var, body)
+}
+
+fn var_in_distributed_subscript(synth: &Synth, var: &str, body: &[Stmt]) -> bool {
+    fn expr_has_var_subscript(synth: &Synth, var: &str, e: &Expr) -> bool {
+        match e {
+            Expr::Ref(name, args) => {
+                let in_sub = synth.analysis.is_array(name)
+                    && !synth.layouts[name].replicated
+                    && args.iter().any(|a| mentions_var(a, var));
+                in_sub || args.iter().any(|a| expr_has_var_subscript(synth, var, a))
+            }
+            Expr::Bin(_, a, b) => {
+                expr_has_var_subscript(synth, var, a) || expr_has_var_subscript(synth, var, b)
+            }
+            Expr::Un(_, a) => expr_has_var_subscript(synth, var, a),
+            _ => false,
+        }
+    }
+    fn mentions_var(e: &Expr, var: &str) -> bool {
+        match e {
+            Expr::Var(v) => v == var,
+            Expr::Ref(_, args) => args.iter().any(|a| mentions_var(a, var)),
+            Expr::Bin(_, a, b) => mentions_var(a, var) || mentions_var(b, var),
+            Expr::Un(_, a) => mentions_var(a, var),
+            _ => false,
+        }
+    }
+    body.iter().any(|s| match &s.kind {
+        StmtKind::Assign { name, subs, rhs, .. } => {
+            let lhs_hit = synth.analysis.is_array(name)
+                && !synth.layouts[name].replicated
+                && subs.iter().any(|a| mentions_var(a, var));
+            lhs_hit || expr_has_var_subscript(synth, var, rhs)
+        }
+        StmtKind::Do { body, .. } => var_in_distributed_subscript(synth, var, body),
+        StmtKind::If {
+            then_body,
+            else_body,
+            ..
+        } => {
+            var_in_distributed_subscript(synth, var, then_body)
+                || var_in_distributed_subscript(synth, var, else_body)
+        }
+        _ => false,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Nest synthesis
+// ---------------------------------------------------------------------------
+
+fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError> {
+    let stmts = collect_in(synth.analysis, body);
+    if stmts.is_empty() {
+        return Ok(NestItem {
+            code: Code::empty(),
+            ops: Vec::new(),
+            reductions: Vec::new(),
+            split: false,
+        });
+    }
+    // All writes in the nest (for dependence-based placement).
+    let writes: Vec<(usize, ArrayRef)> = stmts
+        .iter()
+        .enumerate()
+        .filter_map(|(k, s)| s.lhs.clone().map(|l| (k, l)))
+        .collect();
+
+    // Plan communication events: group potentially non-local reads by
+    // (array, placement level, statement-group) for coalescing.
+    #[derive(Default)]
+    struct EventPlan {
+        refs: Vec<CommRef>,
+        /// (statement index, read index) pairs behind `refs`.
+        sources: Vec<(usize, usize)>,
+        level: u32,
+        array: String,
+        group_of_stmt: usize,
+    }
+    let mut plans: BTreeMap<(String, u32, usize), EventPlan> = BTreeMap::new();
+
+    // Statement groups: consecutive statements with identical loop nests.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (k, s) in stmts.iter().enumerate() {
+        match groups.last_mut() {
+            Some(g) if stmts[g[0]].ctx.vars == s.ctx.vars => g.push(k),
+            _ => groups.push(vec![k]),
+        }
+    }
+    let group_of = |k: usize| groups.iter().position(|g| g.contains(&k)).unwrap();
+
+    for (k, s) in stmts.iter().enumerate() {
+        for (ri, r) in s.reads.iter().enumerate() {
+            let Some(layout) = synth.layouts.get(&r.array) else {
+                continue;
+            };
+            if layout.replicated {
+                continue;
+            }
+            // Owner-computes self-reference: a read identical to the sole
+            // ON_HOME term is local by definition (the paper's "early
+            // phases identify potentially non-local references").
+            if s.on_home.len() == 1
+                && s.on_home[0].array == r.array
+                && s.on_home[0].subs == r.subs
+            {
+                continue;
+            }
+            let same_ctx_writes: Vec<&ArrayRef> = writes
+                .iter()
+                .filter(|(wk, w)| stmts[*wk].ctx.vars == s.ctx.vars && w.array == r.array)
+                .map(|(_, w)| w)
+                .collect();
+            let mut level = synth.time("communication placement", |_| {
+                placement_level(r, &same_ctx_writes, &s.ctx)
+            });
+            // Cross-context writes to the same array force conservative
+            // placement inside the whole nest for safety.
+            let cross = writes
+                .iter()
+                .any(|(wk, w)| w.array == r.array && stmts[*wk].ctx.vars != s.ctx.vars);
+            if cross {
+                level = s.ctx.depth();
+            }
+            let (cp, _) = synth.time("partitioning computation", |sy| {
+                cp_map_at_level(s, sy.layouts, level)
+            });
+            let rm = r.ref_map(&slice_context(&s.ctx, level));
+            let key = (
+                r.array.clone(),
+                level,
+                if level > 0 { group_of(k) } else { usize::MAX },
+            );
+            let plan = plans.entry(key.clone()).or_insert_with(|| EventPlan {
+                refs: Vec::new(),
+                sources: Vec::new(),
+                level,
+                array: r.array.clone(),
+                group_of_stmt: group_of(k),
+            });
+            plan.refs.push(CommRef {
+                cp_map: cp,
+                ref_map: rm,
+            });
+            plan.sources.push((k, ri));
+        }
+        // Non-local writes (CP differs from owner of the LHS).
+        if let Some(l) = &s.lhs {
+            let layout = &synth.layouts[&l.array];
+            if !layout.replicated && !s.on_home.is_empty() {
+                let owner_differs = s.on_home.iter().any(|oh| {
+                    oh.array != l.array || oh.subs != l.subs
+                });
+                if owner_differs {
+                    let (cp, _) = cp_map_at_level(s, synth.layouts, 0);
+                    let rm = l.ref_map(&s.ctx);
+                    let key = (format!("{}!w", l.array), 0, usize::MAX);
+                    let plan = plans.entry(key).or_insert_with(|| EventPlan {
+                        refs: Vec::new(),
+                        sources: Vec::new(),
+                        level: 0,
+                        array: l.array.clone(),
+                        group_of_stmt: group_of(k),
+                    });
+                    plan.refs.push(CommRef {
+                        cp_map: cp,
+                        ref_map: rm,
+                    });
+                }
+            }
+        }
+    }
+
+    // Materialize events.
+    struct BuiltEvent {
+        event: usize,
+        level: u32,
+        group: usize,
+        is_write: bool,
+    }
+    let mut built: Vec<BuiltEvent> = Vec::new();
+    let plan_list: Vec<((String, u32, usize), EventPlan)> = plans.into_iter().collect();
+    for ((key_arr, _, _), plan) in plan_list {
+        let is_write = key_arr.ends_with("!w");
+        let layout = &synth.layouts[&plan.array];
+        let sets = synth.time("communication generation", |_| {
+            if is_write {
+                comm_sets(&[], &plan.refs, layout)
+            } else {
+                comm_sets(&plan.refs, &[], layout)
+            }
+        });
+        // An event is needed only if some processor touches *non-local*
+        // data. With the virtual-processor layouts the send-side maps can
+        // be spuriously non-empty (fictitious VPs overlap every real one),
+        // so emptiness is judged on the non-local data sets: `m` is
+        // symbolic, so emptiness here means "empty for every processor".
+        let needed = if is_write {
+            !sets.nl_write_data.is_empty()
+        } else {
+            !sets.nl_read_data.is_empty()
+        };
+        if !needed {
+            continue;
+        }
+        if plan.refs.len() > 1 {
+            synth.stats.coalesced_groups += 1;
+        }
+        if plan.level == 0 {
+            // Vectorized out of the whole nest: one pre-/post-nest event.
+            let id = push_event(synth, &plan.array, &sets.send_map, &sets.recv_map, 0)?;
+            if !is_write {
+                synth.stats.fully_vectorized += 1;
+            }
+            built.push(BuiltEvent {
+                event: id,
+                level: 0,
+                group: plan.group_of_stmt,
+                is_write,
+            });
+            continue;
+        }
+        // Pipelined placement inside loop `level`. The *receive* happens at
+        // the consumer's iteration (the level-l maps are parameterized by
+        // the outer loop variables), but the matching *send* must be driven
+        // by the PRODUCER's own iteration: a processor sends boundary data
+        // right after producing it. Data never written inside the nest is
+        // exchanged once, before the nest.
+        let consumer_stmt_idx = groups[plan.group_of_stmt][0];
+        let ctx = &stmts[consumer_stmt_idx].ctx;
+        // All data of this array written anywhere in the nest.
+        let mut written = Set::empty(layout.rel.n_out());
+        for (wk, w) in &writes {
+            if w.array == plan.array {
+                written = written
+                    .union(&w.ref_map(&stmts[*wk].ctx).apply(&stmts[*wk].ctx.iteration_set()));
+            }
+        }
+        written.simplify();
+        let unwritten = array_index_set(synth.analysis, &plan.array).subtract(&written);
+        // Fully-vectorized maps for this plan's own references (no
+        // consumer-iteration parameters): they drive the producer-side
+        // send schedule.
+        let refs0: Vec<CommRef> = plan
+            .sources
+            .iter()
+            .map(|&(k, ri)| {
+                let s = &stmts[k];
+                let (cp, _) = cp_map_at_level(s, synth.layouts, 0);
+                CommRef {
+                    cp_map: cp,
+                    ref_map: s.reads[ri].ref_map(&s.ctx),
+                }
+            })
+            .collect();
+        let sets0 = synth.time("communication generation", |_| {
+            comm_sets(&refs0, &[], layout)
+        });
+        // Pre-nest exchange of never-written data.
+        let pre_send = sets0.send_map.restrict_range(&unwritten);
+        let pre_recv = sets0.recv_map.restrict_range(&unwritten);
+        if !pre_recv.is_empty() {
+            let id = push_event(synth, &plan.array, &pre_send, &pre_recv, 0)?;
+            built.push(BuiltEvent {
+                event: id,
+                level: 0,
+                group: plan.group_of_stmt,
+                is_write: false,
+            });
+        }
+        // In-loop event: receive what this iteration consumes (written
+        // data only); send what this iteration just produced and someone
+        // else will consume.
+        let mut w_cur = Set::empty(layout.rel.n_out());
+        for (wk, w) in &writes {
+            if w.array != plan.array || stmts[*wk].ctx.vars != ctx.vars {
+                continue;
+            }
+            let (wcp, _) = cp_map_at_level(&stmts[*wk], synth.layouts, plan.level);
+            let my_inner = wcp.apply(&crate::cp::myid_set(layout.proc_rank()));
+            let rm = w.ref_map(&slice_context(&stmts[*wk].ctx, plan.level));
+            w_cur = w_cur.union(&rm.apply(&my_inner));
+        }
+        w_cur.simplify();
+        let in_send = sets0.send_map.restrict_range(&w_cur);
+        let in_recv = sets.recv_map.restrict_range(&written);
+        if !in_recv.is_empty() {
+            let id = push_event(synth, &plan.array, &in_send, &in_recv, plan.level)?;
+            built.push(BuiltEvent {
+                event: id,
+                level: plan.level,
+                group: plan.group_of_stmt,
+                is_write: false,
+            });
+        }
+    }
+
+    // Generate the partitioned code, group by group.
+    let mut ops: Vec<NestOp> = Vec::new();
+    let mut chunks: Vec<Code> = Vec::new();
+    // Pre-nest receives/sends for level-0 read events are emitted before
+    // the first group unless loop splitting moves the receive.
+    let mut split_used = false;
+    let level0_reads: Vec<usize> = built
+        .iter()
+        .filter(|b| b.level == 0 && !b.is_write)
+        .map(|b| b.event)
+        .collect();
+
+    // Decide on loop splitting: single group, single statement, all
+    // communication vectorized out of the nest, and no loop-carried
+    // dependence (splitting reorders iterations, Figure 4 requires
+    // "no dependences that prevent iteration reordering").
+    let reorder_safe = || {
+        stmts.iter().all(|s| {
+            s.reads.iter().all(|r| {
+                writes.iter().all(|(wk, w)| {
+                    w.array != r.array
+                        || stmts[*wk].ctx.vars != s.ctx.vars
+                        || crate::dependence::carried_level(w, r, &s.ctx).is_none()
+                })
+            })
+        })
+    };
+    // All statements must share one loop nest and one partition for the
+    // sections of Figure 4 to be computed once for the whole group.
+    let shared_partition = || -> Option<Set> {
+        let s0 = &stmts[groups[0][0]];
+        let (cp0, _) = cp_map_at_level(s0, synth.layouts, 0);
+        let mine0 = cp0.apply(&myid_set(proc_rank_of(s0, synth.layouts)));
+        for &k in &groups[0][1..] {
+            let (cp, _) = cp_map_at_level(&stmts[k], synth.layouts, 0);
+            let mine = cp.apply(&myid_set(proc_rank_of(&stmts[k], synth.layouts)));
+            if !mine.equal(&mine0) {
+                return None;
+            }
+        }
+        Some(mine0)
+    };
+    let try_split = synth.opts.loop_splitting
+        && groups.len() == 1
+        && !level0_reads.is_empty()
+        && built.iter().all(|b| b.level == 0)
+        && stmts.iter().all(|s| s.reduction.is_none())
+        && reorder_safe();
+
+    let mine = if try_split { shared_partition() } else { None };
+    if let Some(mine) = mine {
+        let s0 = &stmts[groups[0][0]];
+        let (cp, _) = cp_map_at_level(s0, synth.layouts, 0);
+        // Sections intersected across every statement's references.
+        let reads_l: Vec<(CommRef, &Layout)> = stmts
+            .iter()
+            .flat_map(|s| {
+                s.reads
+                    .iter()
+                    .filter(|r| !synth.layouts[&r.array].replicated)
+                    .map(|r| {
+                        (
+                            CommRef {
+                                cp_map: cp.clone(),
+                                ref_map: r.ref_map(&s.ctx),
+                            },
+                            &synth.layouts[&r.array],
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let read_pairs: Vec<(&CommRef, &Layout)> =
+            reads_l.iter().map(|(c, l)| (c, *l)).collect();
+        let sections = synth.time("loop splitting", |_| split_sets(&mine, &read_pairs, &[]));
+        // SEND; compute local; RECV; compute non-local (Figure 4(b) without
+        // non-local writes).
+        let names: Vec<&str> = s0.ctx.vars.iter().map(String::as_str).collect();
+        let stmt_ops: Vec<StmtId> = stmts
+            .iter()
+            .map(|s| {
+                let op = ops.len();
+                ops.push(NestOp::Assign(compile_stmt(s)));
+                StmtId(op)
+            })
+            .collect();
+        let gen = |space: &Set| -> Result<Code, dhpf_codegen::CodegenError> {
+            let mappings: Vec<Mapping> = stmt_ops
+                .iter()
+                .map(|&id| Mapping {
+                    stmt: id,
+                    space: space.clone(),
+                })
+                .collect();
+            // Splitting already established that iterations may be
+            // reordered, so disjoint section pieces become independent
+            // loop nests (no per-iteration membership guards).
+            let opts = CodegenOptions {
+                sequential_pieces: true,
+                ..CodegenOptions::default()
+            };
+            codegen(&mappings, &names, &opts)
+        };
+        let local_code = synth.time("mult mappings code generation", |_| gen(&sections.local))?;
+        let nl = sections
+            .nl_ro
+            .union(&sections.nl_wo)
+            .union(&sections.nl_rw);
+        let nl_code = synth.time("mult mappings code generation", |_| gen(&nl))?;
+        for &ev in &level0_reads {
+            let op = ops.len();
+            ops.push(NestOp::CommSend(ev));
+            chunks.push(Code::Stmt(StmtId(op)));
+        }
+        chunks.push(local_code);
+        for &ev in &level0_reads {
+            let op = ops.len();
+            ops.push(NestOp::CommRecv(ev));
+            chunks.push(Code::Stmt(StmtId(op)));
+        }
+        chunks.push(nl_code);
+        split_used = true;
+        synth.stats.split_nests += 1;
+    } else {
+        // Plain schedule: send+recv all level-0 read events up front.
+        for b in built.iter().filter(|b| b.level == 0 && !b.is_write) {
+            let op = ops.len();
+            ops.push(NestOp::CommSend(b.event));
+            chunks.push(Code::Stmt(StmtId(op)));
+            let op = ops.len();
+            ops.push(NestOp::CommRecv(b.event));
+            chunks.push(Code::Stmt(StmtId(op)));
+        }
+        for (gidx, g) in groups.iter().enumerate() {
+            let names: Vec<&str> = stmts[g[0]].ctx.vars.iter().map(String::as_str).collect();
+            let mut mappings = Vec::new();
+            for &k in g {
+                let s = &stmts[k];
+                let (cp, _) = synth.time("partitioning computation", |sy| {
+                    cp_map_at_level(s, sy.layouts, 0)
+                });
+                let mut mine = cp.apply(&myid_set(proc_rank_of(s, synth.layouts)));
+                synth.time("loop bounds reduction", |_| mine.simplify_deep());
+                let op = ops.len();
+                ops.push(NestOp::Assign(compile_stmt(s)));
+                mappings.push(Mapping {
+                    stmt: StmtId(op),
+                    space: mine,
+                });
+            }
+            let mut code = synth.time("mult mappings code generation", |_| {
+                codegen(&mappings, &names, &CodegenOptions::default())
+            })?;
+            // Inject inner-level communication (pipelines) into this group.
+            for b in built.iter().filter(|b| b.level > 0 && b.group == gidx) {
+                let send = ops.len();
+                ops.push(NestOp::CommSend(b.event));
+                let recv = ops.len();
+                ops.push(NestOp::CommRecv(b.event));
+                code = inject_at_level(
+                    code,
+                    b.level,
+                    vec![Code::Stmt(StmtId(recv))],
+                    vec![Code::Stmt(StmtId(send))],
+                );
+            }
+            chunks.push(code);
+        }
+        // Post-nest write events (send our non-local writes to owners).
+        for b in built.iter().filter(|b| b.is_write) {
+            let op = ops.len();
+            ops.push(NestOp::CommSend(b.event));
+            chunks.push(Code::Stmt(StmtId(op)));
+            let op = ops.len();
+            ops.push(NestOp::CommRecv(b.event));
+            chunks.push(Code::Stmt(StmtId(op)));
+        }
+    }
+    let reductions: Vec<Reduction> = {
+        let mut rs: Vec<Reduction> = Vec::new();
+        for s in &stmts {
+            if let Some(r) = &s.reduction {
+                if !rs.contains(r) {
+                    rs.push(r.clone());
+                }
+            }
+        }
+        rs
+    };
+    Ok(NestItem {
+        code: Code::Seq(chunks),
+        ops,
+        reductions,
+        split: split_used,
+    })
+}
+
+/// Builds a [`CommEvent`] from send/recv maps and registers it.
+fn push_event(
+    synth: &mut Synth,
+    array: &str,
+    send_map: &Relation,
+    recv_map: &Relation,
+    level: u32,
+) -> Result<usize, CompileError> {
+    let t0 = std::time::Instant::now();
+    let id = push_event_inner(synth, array, send_map, recv_map, level);
+    if let Some(t) = synth.timers.as_mut() {
+        t.add("communication generation", t0.elapsed());
+    }
+    id
+}
+
+fn push_event_inner(
+    synth: &mut Synth,
+    array: &str,
+    send_map: &Relation,
+    recv_map: &Relation,
+    level: u32,
+) -> Result<usize, CompileError> {
+    let layout = &synth.layouts[array];
+    let local = array_index_set(synth.analysis, array);
+    let recv_data = recv_map.range();
+    let contiguous = synth.time("check if msg is contiguous", |_| {
+        matches!(contiguity(&recv_data, &local), Contiguity::Contiguous)
+    });
+    if contiguous {
+        synth.stats.contiguous_events += 1;
+    }
+    let id = synth.events.len();
+    let send_code = synth.time("loops over comm partners", |sy| comm_code(sy, send_map))?;
+    let recv_code = synth.time("loops over comm partners", |sy| comm_code(sy, recv_map))?;
+    synth.events.push(CommEvent {
+        id,
+        array: array.to_string(),
+        send_code,
+        recv_code,
+        proc_rank: layout.proc_rank(),
+        data_rank: layout.rel.n_out(),
+        contiguous,
+        level,
+    });
+    synth.stats.comm_events += 1;
+    Ok(id)
+}
+
+/// Compiles one statement for the executor.
+fn compile_stmt(s: &StmtInfo) -> CompiledStmt {
+    let StmtKind::Assign {
+        name, subs, rhs, ..
+    } = &s.stmt.kind
+    else {
+        unreachable!("nest statements are assignments");
+    };
+    CompiledStmt {
+        lhs: name.clone(),
+        subs: subs.clone(),
+        rhs: rhs.clone(),
+        guards: s.guards.clone(),
+        cost: count_ops(rhs),
+    }
+}
+
+fn count_ops(e: &Expr) -> u64 {
+    match e {
+        Expr::Bin(_, a, b) => 1 + count_ops(a) + count_ops(b),
+        Expr::Un(_, a) => count_ops(a),
+        Expr::Ref(_, args) => args.iter().map(count_ops).sum::<u64>() + 1,
+        _ => 0,
+    }
+}
+
+/// The full local index set of an array, as a [`Set`].
+fn array_index_set(analysis: &Analysis, array: &str) -> Set {
+    let info = &analysis.arrays[array];
+    let rank = info.dims.len() as u32;
+    let mut rel = Relation::universe(rank, 0);
+    let mut c = dhpf_omega::Conjunct::new();
+    for (d, (lo, hi)) in info.dims.iter().enumerate() {
+        let v = dhpf_omega::LinExpr::var(Var::In(d as u32));
+        let lo_e = crate::ir::affine_to_lin(lo, &[], &mut rel);
+        let hi_e = crate::ir::affine_to_lin(hi, &[], &mut rel);
+        c.add_geq(v.clone() - lo_e);
+        c.add_geq(hi_e - v);
+    }
+    rel.conjuncts_mut().clear();
+    rel.add_conjunct(c);
+    Set::from_relation(rel)
+}
+
+/// Generates enumeration code for a comm map `[q1..qr] -> [d1..dk]`.
+fn comm_code(synth: &mut Synth, map: &Relation) -> Result<Code, CompileError> {
+    let r = map.n_in();
+    let k = map.n_out();
+    let set = rel_to_set(map);
+    let mut names: Vec<String> = (0..r).map(|d| format!("q{}", d + 1)).collect();
+    names.extend((0..k).map(|d| format!("d{}", d + 1)));
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let _ = synth;
+    Ok(dhpf_codegen::codegen_set(
+        &set,
+        StmtId(0),
+        &name_refs,
+        &CodegenOptions::default(),
+    )?)
+}
+
+/// Flattens a relation into a set over `[in..., out...]`.
+pub fn rel_to_set(rel: &Relation) -> Set {
+    let n_in = rel.n_in();
+    let n_out = rel.n_out();
+    let mut out = Relation::universe(n_in + n_out, 0);
+    for p in rel.params() {
+        out.ensure_param(p);
+    }
+    let conjs: Vec<_> = rel
+        .conjuncts()
+        .iter()
+        .map(|c| {
+            c.rename(|v| match v {
+                Var::Out(j) => Var::In(n_in + j),
+                v => v,
+            })
+        })
+        .collect();
+    *out.conjuncts_mut() = conjs;
+    Set::from_relation(out)
+}
+
+/// Inserts `pre`/`post` code around the body of the `level`-th nested loop
+/// (1-based: `level = 1` is inside the outermost loop).
+fn inject_at_level(code: Code, level: u32, pre: Vec<Code>, post: Vec<Code>) -> Code {
+    fn go(code: Code, remaining: u32, pre: &[Code], post: &[Code]) -> Code {
+        match code {
+            Code::Loop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                if remaining == 1 {
+                    let mut seq = pre.to_vec();
+                    seq.push(*body);
+                    seq.extend(post.to_vec());
+                    Code::Loop {
+                        var,
+                        lo,
+                        hi,
+                        step,
+                        body: Box::new(Code::Seq(seq)),
+                    }
+                } else {
+                    Code::Loop {
+                        var,
+                        lo,
+                        hi,
+                        step,
+                        body: Box::new(go(*body, remaining - 1, pre, post)),
+                    }
+                }
+            }
+            Code::Seq(cs) => Code::Seq(
+                cs.into_iter()
+                    .map(|c| go(c, remaining, pre, post))
+                    .collect(),
+            ),
+            Code::If { cond, body } => Code::If {
+                cond,
+                body: Box::new(go(*body, remaining, pre, post)),
+            },
+            other => other,
+        }
+    }
+    go(code, level, &pre, &post)
+}

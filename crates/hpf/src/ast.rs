@@ -1,0 +1,283 @@
+//! Abstract syntax of the mini-Fortran/HPF language.
+
+use crate::token::Span;
+
+/// A whole source file: one or more program units.
+#[derive(Clone, Debug, Default)]
+pub struct SourceProgram {
+    /// Program units in source order (main program first by convention).
+    pub units: Vec<Unit>,
+}
+
+/// A program unit (main program or subroutine).
+#[derive(Clone, Debug)]
+pub struct Unit {
+    /// Unit name (lower-cased).
+    pub name: String,
+    /// Whether this is the main program.
+    pub is_program: bool,
+    /// Dummy argument names (subroutines).
+    pub args: Vec<String>,
+    /// Type declarations.
+    pub decls: Vec<Decl>,
+    /// `parameter` constant definitions.
+    pub params: Vec<ParamDef>,
+    /// HPF directives declared in the unit.
+    pub directives: Vec<Directive>,
+    /// Executable statements.
+    pub body: Vec<Stmt>,
+}
+
+/// Scalar element types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TypeName {
+    /// `integer`
+    Integer,
+    /// `real`
+    Real,
+}
+
+/// A declaration statement (`real A(0:99,100), B(100,100)`).
+#[derive(Clone, Debug)]
+pub struct Decl {
+    /// Element type.
+    pub ty: TypeName,
+    /// Declared entities.
+    pub entities: Vec<Entity>,
+}
+
+/// One declared entity with optional array dimensions.
+#[derive(Clone, Debug)]
+pub struct Entity {
+    /// Entity name (lower-cased).
+    pub name: String,
+    /// `(lower, upper)` bound expressions per dimension; lower defaults to 1.
+    pub dims: Vec<(Option<Expr>, Expr)>,
+}
+
+/// A `parameter (name = value)` definition.
+#[derive(Clone, Debug)]
+pub struct ParamDef {
+    /// Constant name.
+    pub name: String,
+    /// Defining expression (must fold to an integer or real constant).
+    pub value: Expr,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `**`
+    Pow,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `/=`
+    Ne,
+    /// `.and.`
+    And,
+    /// `.or.`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Unary minus.
+    Neg,
+    /// `.not.`
+    Not,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element reference or intrinsic/function call (resolved later).
+    Ref(String, Vec<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+}
+
+/// A statement with its source position.
+#[derive(Clone, Debug)]
+pub struct Stmt {
+    /// The statement proper.
+    pub kind: StmtKind,
+    /// Source position.
+    pub span: Span,
+}
+
+/// Statement kinds.
+#[derive(Clone, Debug)]
+pub enum StmtKind {
+    /// `lhs(subs) = rhs`, with an optional `ON_HOME` computation partition.
+    Assign {
+        /// Target variable or array name.
+        name: String,
+        /// Subscripts (empty for scalars).
+        subs: Vec<Expr>,
+        /// Right-hand side.
+        rhs: Expr,
+        /// `!HPF$ on_home A(f(i)), B(g(i))` terms attached to this statement.
+        on_home: Option<Vec<(String, Vec<Expr>)>>,
+    },
+    /// `do var = lo, hi [, step] ... enddo`
+    Do {
+        /// Loop index name.
+        var: String,
+        /// Lower bound.
+        lo: Expr,
+        /// Upper bound.
+        hi: Expr,
+        /// Step (defaults to 1).
+        step: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `if (cond) then ... [else ...] endif`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch.
+        else_body: Vec<Stmt>,
+    },
+    /// `call name(args)`
+    Call {
+        /// Callee (lower-cased).
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+    },
+    /// `read *, vars` — marks scalars as runtime (symbolic) inputs.
+    Read {
+        /// Variables read.
+        vars: Vec<String>,
+    },
+    /// `print *, args` — ignored by analysis, kept for fidelity.
+    Print {
+        /// Printed expressions.
+        args: Vec<Expr>,
+    },
+}
+
+/// Distribution format of one template dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistFormat {
+    /// `BLOCK`
+    Block,
+    /// `CYCLIC`
+    Cyclic,
+    /// `CYCLIC(k)` with constant `k`.
+    CyclicK(i64),
+    /// `*` — dimension not distributed.
+    Star,
+}
+
+/// One subscript of an `ALIGN` directive's target.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AlignSub {
+    /// An affine expression of the align dummies.
+    Expr(Expr),
+    /// `*` — replicated along this template dimension.
+    Star,
+}
+
+/// An extent in a `PROCESSORS` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProcExtent {
+    /// Known constant extent.
+    Lit(i64),
+    /// Symbolic extent (e.g. `number_of_processors()/2`).
+    Sym(Expr),
+}
+
+/// HPF directives.
+#[derive(Clone, Debug)]
+pub enum Directive {
+    /// `processors P(e1, ..., ek)`
+    Processors {
+        /// Processor array name.
+        name: String,
+        /// Extent of each dimension.
+        extents: Vec<ProcExtent>,
+    },
+    /// `template T(n1, ..., nk)`
+    Template {
+        /// Template name.
+        name: String,
+        /// Extent expression of each dimension.
+        extents: Vec<Expr>,
+    },
+    /// `align A(i, j) with T(f(i,j), g(i,j))`
+    Align {
+        /// Aligned array.
+        array: String,
+        /// Align dummy names.
+        dummies: Vec<String>,
+        /// Target template (or array).
+        target: String,
+        /// Target subscripts.
+        subs: Vec<AlignSub>,
+    },
+    /// `distribute T(block, cyclic) onto P`
+    Distribute {
+        /// Distributed template.
+        template: String,
+        /// Per-dimension format.
+        formats: Vec<DistFormat>,
+        /// Processor array.
+        onto: String,
+    },
+    /// `on_home A(f(i))` — consumed by the parser, attached to statements.
+    OnHome {
+        /// The ON_HOME reference terms.
+        refs: Vec<(String, Vec<Expr>)>,
+    },
+}
+
+impl Expr {
+    /// Folds the expression to an integer constant if possible.
+    pub fn const_int(&self) -> Option<i64> {
+        match self {
+            Expr::Int(v) => Some(*v),
+            Expr::Un(UnOp::Neg, e) => e.const_int().map(|v| -v),
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (a.const_int()?, b.const_int()?);
+                Some(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a.checked_div(b)?,
+                    BinOp::Pow => a.checked_pow(u32::try_from(b).ok()?)?,
+                    _ => return None,
+                })
+            }
+            _ => None,
+        }
+    }
+}

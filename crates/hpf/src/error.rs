@@ -1,0 +1,68 @@
+//! Positioned errors for the HPF frontend.
+
+use crate::token::Span;
+use std::fmt;
+
+/// An error from lexing, parsing, or semantic analysis, with its position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HpfError {
+    phase: Phase,
+    span: Span,
+    message: String,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Lex,
+    Parse,
+    Sema,
+}
+
+impl HpfError {
+    pub(crate) fn lex(span: Span, message: String) -> Self {
+        HpfError {
+            phase: Phase::Lex,
+            span,
+            message,
+        }
+    }
+
+    pub(crate) fn parse(span: Span, message: impl Into<String>) -> Self {
+        HpfError {
+            phase: Phase::Parse,
+            span,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn sema(span: Span, message: impl Into<String>) -> Self {
+        HpfError {
+            phase: Phase::Sema,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// The source position of the error.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The human-readable message (without position).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for HpfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "semantic",
+        };
+        write!(f, "{phase} error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for HpfError {}

@@ -1,0 +1,288 @@
+//! Lexer for the mini-Fortran/HPF language (free-form, case-insensitive).
+
+use crate::error::HpfError;
+use crate::token::{Span, Tok};
+
+/// Tokenizes `src` into `(token, span)` pairs, ending with [`Tok::Eof`].
+///
+/// Comment lines start with `!`; directive lines start with `!hpf$` or
+/// `chpf$` (any case) and are lexed into [`Tok::Directive`]. Newlines become
+/// [`Tok::Eos`] statement separators; `&` at end of line continues the
+/// statement.
+///
+/// # Errors
+///
+/// Returns [`HpfError`] on malformed numeric literals or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<(Tok, Span)>, HpfError> {
+    let mut out = Vec::new();
+    let mut line_no: u32 = 1;
+    let mut offset = 0usize;
+    let mut continued = false;
+    for raw_line in src.split('\n') {
+        let line = raw_line.trim_end_matches('\r');
+        let trimmed = line.trim_start();
+        let lead = line.len() - trimmed.len();
+        let lower = trimmed.to_ascii_lowercase();
+        let span0 = Span {
+            offset: offset + lead,
+            line: line_no,
+            col: lead as u32 + 1,
+        };
+        if lower.starts_with("!hpf$") || lower.starts_with("chpf$") || lower.starts_with("*hpf$") {
+            let body = trimmed[5..].trim().to_ascii_lowercase();
+            out.push((Tok::Directive(body), span0));
+            out.push((Tok::Eos, span0));
+        } else if trimmed.starts_with('!')
+            || trimmed.starts_with('*')
+            || (lower.starts_with('c') && lower.len() == 1)
+            || lower.starts_with("c ")
+        {
+            // Comment line: ignored. ('c' in column 1 — classic Fortran.)
+        } else if !trimmed.is_empty() {
+            let mut cont_next = false;
+            lex_code_line(trimmed, span0, &mut out, &mut cont_next)?;
+            if !cont_next {
+                let end = Span {
+                    offset: offset + line.len(),
+                    line: line_no,
+                    col: line.len() as u32 + 1,
+                };
+                if !continued || !out.is_empty() {
+                    out.push((Tok::Eos, end));
+                }
+            }
+            continued = cont_next;
+        }
+        offset += raw_line.len() + 1;
+        line_no += 1;
+    }
+    let eof = Span {
+        offset,
+        line: line_no,
+        col: 1,
+    };
+    out.push((Tok::Eof, eof));
+    Ok(out)
+}
+
+fn lex_code_line(
+    line: &str,
+    base: Span,
+    out: &mut Vec<(Tok, Span)>,
+    cont_next: &mut bool,
+) -> Result<(), HpfError> {
+    let b = line.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i] as char;
+        let span = Span {
+            offset: base.offset + i,
+            line: base.line,
+            col: base.col + i as u32,
+        };
+        if c == '!' {
+            break; // trailing comment
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '&' {
+            *cont_next = true;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut j = i;
+            while j < b.len() && ((b[j] as char).is_ascii_alphanumeric() || b[j] == b'_') {
+                j += 1;
+            }
+            out.push((Tok::Ident(line[i..j].to_ascii_lowercase()), span));
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() || (c == '.' && i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit())
+        {
+            let mut j = i;
+            let mut is_real = false;
+            while j < b.len() && (b[j] as char).is_ascii_digit() {
+                j += 1;
+            }
+            // Decimal part (but not `..` or `.and.`).
+            if j < b.len() && b[j] == b'.' {
+                let rest = &line[j + 1..];
+                let dotted_op = ["and.", "or.", "not.", "lt.", "le.", "gt.", "ge.", "eq.", "ne."]
+                    .iter()
+                    .any(|k| rest.to_ascii_lowercase().starts_with(k));
+                if !dotted_op {
+                    is_real = true;
+                    j += 1;
+                    while j < b.len() && (b[j] as char).is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+            }
+            // Exponent.
+            if j < b.len() && matches!(b[j] as char, 'e' | 'E' | 'd' | 'D') {
+                let mut k = j + 1;
+                if k < b.len() && matches!(b[k] as char, '+' | '-') {
+                    k += 1;
+                }
+                if k < b.len() && (b[k] as char).is_ascii_digit() {
+                    is_real = true;
+                    j = k;
+                    while j < b.len() && (b[j] as char).is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+            }
+            let text = line[i..j].replace(['d', 'D'], "e");
+            if is_real {
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| HpfError::lex(span, format!("bad real literal '{text}'")))?;
+                out.push((Tok::Real(v), span));
+            } else {
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| HpfError::lex(span, format!("bad integer literal '{text}'")))?;
+                out.push((Tok::Int(v), span));
+            }
+            i = j;
+            continue;
+        }
+        if c == '.' {
+            // Dotted operator.
+            let rest = line[i + 1..].to_ascii_lowercase();
+            let ops = [
+                ("and.", ".and."),
+                ("or.", ".or."),
+                ("not.", ".not."),
+                ("lt.", "<"),
+                ("le.", "<="),
+                ("gt.", ">"),
+                ("ge.", ">="),
+                ("eq.", "=="),
+                ("ne.", "/="),
+                ("true.", ".true."),
+                ("false.", ".false."),
+            ];
+            let mut matched = false;
+            for (pat, sym) in ops {
+                if rest.starts_with(pat) {
+                    out.push((Tok::Sym(sym), span));
+                    i += 1 + pat.len();
+                    matched = true;
+                    break;
+                }
+            }
+            if matched {
+                continue;
+            }
+            return Err(HpfError::lex(span, "unexpected '.'".to_string()));
+        }
+        let two = if i + 1 < b.len() { &line[i..i + 2] } else { "" };
+        let sym: &'static str = match two {
+            "**" => "**",
+            "==" => "==",
+            "/=" => "/=",
+            "<=" => "<=",
+            ">=" => ">=",
+            "::" => "::",
+            _ => match c {
+                '(' => "(",
+                ')' => ")",
+                ',' => ",",
+                '+' => "+",
+                '-' => "-",
+                '*' => "*",
+                '/' => "/",
+                '=' => "=",
+                '<' => "<",
+                '>' => ">",
+                ':' => ":",
+                _ => {
+                    return Err(HpfError::lex(span, format!("unexpected character '{c}'")));
+                }
+            },
+        };
+        out.push((Tok::Sym(sym), span));
+        i += sym.len();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn lex_statement() {
+        let t = toks("A(i,j) = B(j-1,i) * 0.25");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Sym("("),
+                Tok::Ident("i".into()),
+                Tok::Sym(","),
+                Tok::Ident("j".into()),
+                Tok::Sym(")"),
+                Tok::Sym("="),
+                Tok::Ident("b".into()),
+                Tok::Sym("("),
+                Tok::Ident("j".into()),
+                Tok::Sym("-"),
+                Tok::Int(1),
+                Tok::Sym(","),
+                Tok::Ident("i".into()),
+                Tok::Sym(")"),
+                Tok::Sym("*"),
+                Tok::Real(0.25),
+                Tok::Eos,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_directive_and_comments() {
+        let t = toks("! a comment\n!HPF$ distribute T(block,*) onto P\nx = 1");
+        assert!(matches!(&t[0], Tok::Directive(d) if d.starts_with("distribute")));
+        assert_eq!(t[1], Tok::Eos);
+        assert_eq!(t[2], Tok::Ident("x".into()));
+    }
+
+    #[test]
+    fn lex_dotted_operators() {
+        let t = toks("if (a .lt. b .and. c .ge. 1.5) then");
+        assert!(t.contains(&Tok::Sym("<")));
+        assert!(t.contains(&Tok::Sym(".and.")));
+        assert!(t.contains(&Tok::Sym(">=")));
+        assert!(t.contains(&Tok::Real(1.5)));
+    }
+
+    #[test]
+    fn lex_continuation() {
+        let t = toks("x = 1 + &\n    2");
+        let eos_count = t.iter().filter(|t| **t == Tok::Eos).count();
+        assert_eq!(eos_count, 1, "{t:?}");
+    }
+
+    #[test]
+    fn lex_real_with_exponent() {
+        let t = toks("y = 1.5e-3 + 2d0");
+        assert!(t.contains(&Tok::Real(0.0015)));
+        assert!(t.contains(&Tok::Real(2.0)));
+    }
+
+    #[test]
+    fn lex_errors_positioned() {
+        let err = lex("x = $").unwrap_err();
+        assert!(err.to_string().contains("1:5"), "{err}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # dhpf-hpf — a mini-Fortran / High Performance Fortran frontend
+//!
+//! The source-language substrate of the dHPF reproduction: a lexer, parser,
+//! and semantic analyzer for the Fortran+HPF subset the paper's analyses
+//! consume — array declarations, DO loops, IF, assignments with affine
+//! subscripts, and the HPF directives `PROCESSORS`, `TEMPLATE`, `ALIGN`,
+//! `DISTRIBUTE` (`BLOCK`, `CYCLIC`, `CYCLIC(K)`, `*`), and `ON_HOME`.
+//!
+//! ```
+//! let src = "
+//! program jacobi
+//! real a(64,64), b(64,64)
+//! !HPF$ processors p(4)
+//! !HPF$ template t(64,64)
+//! !HPF$ align a(i,j) with t(i,j)
+//! !HPF$ align b(i,j) with t(i,j)
+//! !HPF$ distribute t(block,*) onto p
+//! do i = 2, 63
+//!   do j = 2, 63
+//!     a(i,j) = 0.25 * (b(i-1,j) + b(i+1,j) + b(i,j-1) + b(i,j+1))
+//!   enddo
+//! enddo
+//! end
+//! ";
+//! let prog = dhpf_hpf::parse(src)?;
+//! let info = dhpf_hpf::analyze(&prog.units[0])?;
+//! assert!(info.is_array("a"));
+//! # Ok::<(), dhpf_hpf::HpfError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+pub mod token;
+pub mod unparse;
+
+pub use ast::*;
+pub use error::HpfError;
+pub use parser::{parse, parse_directive};
+pub use sema::{analyze, Affine, AlignInfo, AlignMap, Analysis, ArrayInfo, DistInfo, ProcDim, ProcInfo, ScalarInfo, ScalarKind, TemplateInfo};
+pub use token::Span;
+pub use unparse::{expr_str, unparse, unparse_unit};

@@ -1,0 +1,745 @@
+//! Recursive-descent parser for the mini-Fortran/HPF language.
+
+use crate::ast::*;
+use crate::error::HpfError;
+use crate::lexer::lex;
+use crate::token::{Span, Tok};
+
+/// Parses a full source file into a [`SourceProgram`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic [`HpfError`], with its position.
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+/// program t
+/// real a(10)
+/// do i = 1, 10
+///   a(i) = 0.0
+/// enddo
+/// end
+/// ";
+/// let prog = dhpf_hpf::parse(src)?;
+/// assert_eq!(prog.units.len(), 1);
+/// # Ok::<(), dhpf_hpf::HpfError>(())
+/// ```
+pub fn parse(src: &str) -> Result<SourceProgram, HpfError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        last_block_end: None,
+    };
+    let mut units = Vec::new();
+    p.skip_eos();
+    while !p.at_eof() {
+        units.push(p.unit()?);
+        p.skip_eos();
+    }
+    Ok(SourceProgram { units })
+}
+
+struct Parser {
+    toks: Vec<(Tok, Span)>,
+    pos: usize,
+    /// Which terminator keyword ended the most recent block.
+    last_block_end: Option<String>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].0
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos.min(self.toks.len() - 1)].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].0.clone();
+        if self.pos < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn skip_eos(&mut self) {
+        while matches!(self.peek(), Tok::Eos) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Tok::Sym(x) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), HpfError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(HpfError::parse(
+                self.span(),
+                format!("expected '{s}', found '{}'", self.peek()),
+            ))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(x) if x == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), HpfError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(HpfError::parse(
+                self.span(),
+                format!("expected '{kw}', found '{}'", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, HpfError> {
+        let span = self.span();
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            t => Err(HpfError::parse(span, format!("expected identifier, found '{t}'"))),
+        }
+    }
+
+    fn expect_eos(&mut self) -> Result<(), HpfError> {
+        match self.peek() {
+            Tok::Eos | Tok::Eof => {
+                self.skip_eos();
+                Ok(())
+            }
+            t => Err(HpfError::parse(
+                self.span(),
+                format!("expected end of statement, found '{t}'"),
+            )),
+        }
+    }
+
+    // ----- program units -------------------------------------------------
+
+    fn unit(&mut self) -> Result<Unit, HpfError> {
+        let span = self.span();
+        let (is_program, name, args) = if self.eat_kw("program") {
+            let name = self.ident()?;
+            self.expect_eos()?;
+            (true, name, Vec::new())
+        } else if self.eat_kw("subroutine") {
+            let name = self.ident()?;
+            let mut args = Vec::new();
+            if self.eat_sym("(") && !self.eat_sym(")") {
+                loop {
+                    args.push(self.ident()?);
+                    if self.eat_sym(")") {
+                        break;
+                    }
+                    self.expect_sym(",")?;
+                }
+            }
+            self.expect_eos()?;
+            (false, name, args)
+        } else {
+            return Err(HpfError::parse(span, "expected 'program' or 'subroutine'"));
+        };
+        let mut unit = Unit {
+            name,
+            is_program,
+            args,
+            decls: Vec::new(),
+            params: Vec::new(),
+            directives: Vec::new(),
+            body: Vec::new(),
+        };
+        let mut pending_on_home: Option<Vec<(String, Vec<Expr>)>> = None;
+        loop {
+            self.skip_eos();
+            match self.peek().clone() {
+                Tok::Eof => {
+                    return Err(HpfError::parse(self.span(), "missing 'end'"));
+                }
+                Tok::Directive(body) => {
+                    self.bump();
+                    let d = parse_directive(&body, self.span())?;
+                    if let Directive::OnHome { refs } = d {
+                        pending_on_home = Some(refs);
+                    } else {
+                        unit.directives.push(d);
+                    }
+                }
+                Tok::Ident(kw) if kw == "end" => {
+                    self.bump();
+                    // optional 'program'/'subroutine' [name]
+                    let _ = self.eat_kw("program") || self.eat_kw("subroutine");
+                    if matches!(self.peek(), Tok::Ident(_)) {
+                        self.bump();
+                    }
+                    self.expect_eos()?;
+                    return Ok(unit);
+                }
+                Tok::Ident(kw) if kw == "integer" || kw == "real" => {
+                    self.bump();
+                    let ty = if kw == "integer" {
+                        TypeName::Integer
+                    } else {
+                        TypeName::Real
+                    };
+                    unit.decls.push(self.decl(ty)?);
+                }
+                Tok::Ident(kw) if kw == "parameter" => {
+                    self.bump();
+                    self.expect_sym("(")?;
+                    loop {
+                        let name = self.ident()?;
+                        self.expect_sym("=")?;
+                        let value = self.expr()?;
+                        unit.params.push(ParamDef { name, value });
+                        if self.eat_sym(")") {
+                            break;
+                        }
+                        self.expect_sym(",")?;
+                    }
+                    self.expect_eos()?;
+                }
+                _ => {
+                    let mut stmt = self.stmt()?;
+                    if let StmtKind::Assign { on_home, .. } = &mut stmt.kind {
+                        *on_home = pending_on_home.take();
+                    } else {
+                        pending_on_home = None;
+                    }
+                    unit.body.push(stmt);
+                }
+            }
+        }
+    }
+
+    fn decl(&mut self, ty: TypeName) -> Result<Decl, HpfError> {
+        let mut entities = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let mut dims = Vec::new();
+            if self.eat_sym("(") {
+                loop {
+                    let first = self.expr()?;
+                    if self.eat_sym(":") {
+                        let ub = self.expr()?;
+                        dims.push((Some(first), ub));
+                    } else {
+                        dims.push((None, first));
+                    }
+                    if self.eat_sym(")") {
+                        break;
+                    }
+                    self.expect_sym(",")?;
+                }
+            }
+            entities.push(Entity { name, dims });
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_eos()?;
+        Ok(Decl { ty, entities })
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, HpfError> {
+        let span = self.span();
+        let kind = match self.peek().clone() {
+            Tok::Ident(kw) if kw == "do" => self.do_stmt()?,
+            Tok::Ident(kw) if kw == "if" => self.if_stmt()?,
+            Tok::Ident(kw) if kw == "call" => {
+                self.bump();
+                let name = self.ident()?;
+                let mut args = Vec::new();
+                if self.eat_sym("(") && !self.eat_sym(")") {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat_sym(")") {
+                            break;
+                        }
+                        self.expect_sym(",")?;
+                    }
+                }
+                self.expect_eos()?;
+                StmtKind::Call { name, args }
+            }
+            Tok::Ident(kw) if kw == "read" => {
+                self.bump();
+                if self.eat_sym("(") {
+                    // read(*,*) or read(*)
+                    while !self.eat_sym(")") {
+                        self.bump();
+                    }
+                } else {
+                    self.expect_sym("*")?;
+                }
+                let _ = self.eat_sym(",");
+                let mut vars = Vec::new();
+                loop {
+                    vars.push(self.ident()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_eos()?;
+                StmtKind::Read { vars }
+            }
+            Tok::Ident(kw) if kw == "print" => {
+                self.bump();
+                self.expect_sym("*")?;
+                let mut args = Vec::new();
+                while self.eat_sym(",") {
+                    args.push(self.expr()?);
+                }
+                self.expect_eos()?;
+                StmtKind::Print { args }
+            }
+            Tok::Ident(_) => {
+                // assignment
+                let name = self.ident()?;
+                let mut subs = Vec::new();
+                if self.eat_sym("(") && !self.eat_sym(")") {
+                    loop {
+                        subs.push(self.expr()?);
+                        if self.eat_sym(")") {
+                            break;
+                        }
+                        self.expect_sym(",")?;
+                    }
+                }
+                self.expect_sym("=")?;
+                let rhs = self.expr()?;
+                self.expect_eos()?;
+                StmtKind::Assign {
+                    name,
+                    subs,
+                    rhs,
+                    on_home: None,
+                }
+            }
+            t => {
+                return Err(HpfError::parse(span, format!("unexpected '{t}'")));
+            }
+        };
+        Ok(Stmt { kind, span })
+    }
+
+    fn do_stmt(&mut self) -> Result<StmtKind, HpfError> {
+        self.expect_kw("do")?;
+        let var = self.ident()?;
+        self.expect_sym("=")?;
+        let lo = self.expr()?;
+        self.expect_sym(",")?;
+        let hi = self.expr()?;
+        let step = if self.eat_sym(",") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect_eos()?;
+        let body = self.block(&["enddo", "end"])?;
+        // 'end do' consumed as 'end' + 'do'
+        Ok(StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        })
+    }
+
+    fn if_stmt(&mut self) -> Result<StmtKind, HpfError> {
+        self.expect_kw("if")?;
+        self.expect_sym("(")?;
+        let cond = self.expr()?;
+        self.expect_sym(")")?;
+        if self.eat_kw("then") {
+            self.expect_eos()?;
+            let then_body = self.block(&["else", "endif", "end"])?;
+            let else_body = if self.last_block_end.as_deref() == Some("else") {
+                self.skip_eos();
+                self.block(&["endif", "end"])?
+            } else {
+                Vec::new()
+            };
+            Ok(StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            })
+        } else {
+            // one-line if
+            let inner = self.stmt()?;
+            Ok(StmtKind::If {
+                cond,
+                then_body: vec![inner],
+                else_body: Vec::new(),
+            })
+        }
+    }
+
+    /// Parses statements until one of `terminators` is seen (consumed).
+    /// Records which terminator ended the block in `last_block_end`.
+    fn block(&mut self, terminators: &[&str]) -> Result<Vec<Stmt>, HpfError> {
+        let mut body = Vec::new();
+        let mut pending_on_home: Option<Vec<(String, Vec<Expr>)>> = None;
+        loop {
+            self.skip_eos();
+            match self.peek().clone() {
+                Tok::Eof => {
+                    return Err(HpfError::parse(self.span(), "unterminated block"));
+                }
+                Tok::Directive(b) => {
+                    self.bump();
+                    let d = parse_directive(&b, self.span())?;
+                    if let Directive::OnHome { refs } = d {
+                        pending_on_home = Some(refs);
+                    }
+                    // Non-ON_HOME directives inside bodies are ignored here;
+                    // declaration-part directives belong to the unit.
+                }
+                Tok::Ident(kw) if terminators.contains(&kw.as_str()) => {
+                    self.bump();
+                    let mut end = kw.clone();
+                    if kw == "end" {
+                        // 'end do' / 'end if'
+                        if self.eat_kw("do") {
+                            end = "enddo".into();
+                        } else if self.eat_kw("if") {
+                            end = "endif".into();
+                        }
+                    }
+                    if end != "else" {
+                        self.expect_eos()?;
+                    } else {
+                        self.skip_eos();
+                    }
+                    self.last_block_end = Some(end);
+                    return Ok(body);
+                }
+                _ => {
+                    let mut stmt = self.stmt()?;
+                    if let StmtKind::Assign { on_home, .. } = &mut stmt.kind {
+                        *on_home = pending_on_home.take();
+                    } else {
+                        pending_on_home = None;
+                    }
+                    body.push(stmt);
+                }
+            }
+        }
+    }
+
+    // ----- expressions ----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, HpfError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, HpfError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_sym(".or.") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, HpfError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_sym(".and.") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, HpfError> {
+        if self.eat_sym(".not.") {
+            let e = self.not_expr()?;
+            Ok(Expr::Un(UnOp::Not, Box::new(e)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, HpfError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Sym("<") => BinOp::Lt,
+            Tok::Sym("<=") => BinOp::Le,
+            Tok::Sym(">") => BinOp::Gt,
+            Tok::Sym(">=") => BinOp::Ge,
+            Tok::Sym("==") => BinOp::Eq,
+            Tok::Sym("/=") => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, HpfError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat_sym("+") {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_sym("-") {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, HpfError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            if self.eat_sym("*") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_sym("/") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Bin(BinOp::Div, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, HpfError> {
+        if self.eat_sym("-") {
+            let e = self.unary_expr()?;
+            Ok(Expr::Un(UnOp::Neg, Box::new(e)))
+        } else if self.eat_sym("+") {
+            self.unary_expr()
+        } else {
+            self.pow_expr()
+        }
+    }
+
+    fn pow_expr(&mut self) -> Result<Expr, HpfError> {
+        let base = self.primary()?;
+        if self.eat_sym("**") {
+            let exp = self.unary_expr()?;
+            Ok(Expr::Bin(BinOp::Pow, Box::new(base), Box::new(exp)))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, HpfError> {
+        let span = self.span();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Real(v) => Ok(Expr::Real(v)),
+            Tok::Sym("(") => {
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat_sym("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_sym(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_sym(")") {
+                                break;
+                            }
+                            self.expect_sym(",")?;
+                        }
+                    }
+                    Ok(Expr::Ref(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            t => Err(HpfError::parse(span, format!("unexpected '{t}' in expression"))),
+        }
+    }
+}
+
+/// Parses the body text of a `!HPF$` directive.
+pub fn parse_directive(body: &str, span: Span) -> Result<Directive, HpfError> {
+    let toks = lex(body).map_err(|e| HpfError::parse(span, e.message().to_string()))?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        last_block_end: None,
+    };
+    let kw = p.ident()?;
+    let d = match kw.as_str() {
+        "processors" => {
+            let name = p.ident()?;
+            let mut extents = Vec::new();
+            if p.eat_sym("(") && !p.eat_sym(")") {
+                loop {
+                    let e = p.expr()?;
+                    extents.push(match e.const_int() {
+                        Some(v) => ProcExtent::Lit(v),
+                        None => ProcExtent::Sym(e),
+                    });
+                    if p.eat_sym(")") {
+                        break;
+                    }
+                    p.expect_sym(",")?;
+                }
+            } else {
+                extents.push(ProcExtent::Sym(Expr::Ref(
+                    "number_of_processors".into(),
+                    Vec::new(),
+                )));
+            }
+            Directive::Processors { name, extents }
+        }
+        "template" => {
+            let name = p.ident()?;
+            let mut extents = Vec::new();
+            p.expect_sym("(")?;
+            loop {
+                extents.push(p.expr()?);
+                if p.eat_sym(")") {
+                    break;
+                }
+                p.expect_sym(",")?;
+            }
+            Directive::Template { name, extents }
+        }
+        "align" => {
+            let array = p.ident()?;
+            let mut dummies = Vec::new();
+            if p.eat_sym("(") && !p.eat_sym(")") {
+                loop {
+                    dummies.push(p.ident()?);
+                    if p.eat_sym(")") {
+                        break;
+                    }
+                    p.expect_sym(",")?;
+                }
+            }
+            p.expect_kw("with")?;
+            let target = p.ident()?;
+            let mut subs = Vec::new();
+            p.expect_sym("(")?;
+            loop {
+                if p.eat_sym("*") {
+                    subs.push(AlignSub::Star);
+                } else {
+                    subs.push(AlignSub::Expr(p.expr()?));
+                }
+                if p.eat_sym(")") {
+                    break;
+                }
+                p.expect_sym(",")?;
+            }
+            Directive::Align {
+                array,
+                dummies,
+                target,
+                subs,
+            }
+        }
+        "distribute" => {
+            let template = p.ident()?;
+            let mut formats = Vec::new();
+            p.expect_sym("(")?;
+            loop {
+                if p.eat_sym("*") {
+                    formats.push(DistFormat::Star);
+                } else {
+                    let f = p.ident()?;
+                    match f.as_str() {
+                        "block" => formats.push(DistFormat::Block),
+                        "cyclic" => {
+                            if p.eat_sym("(") {
+                                let k = p.expr()?;
+                                p.expect_sym(")")?;
+                                match k.const_int() {
+                                    Some(v) if v >= 1 => formats.push(DistFormat::CyclicK(v)),
+                                    _ => {
+                                        return Err(HpfError::parse(
+                                            span,
+                                            "cyclic(k) requires a positive constant k",
+                                        ))
+                                    }
+                                }
+                            } else {
+                                formats.push(DistFormat::Cyclic);
+                            }
+                        }
+                        other => {
+                            return Err(HpfError::parse(
+                                span,
+                                format!("unknown distribution format '{other}'"),
+                            ))
+                        }
+                    }
+                }
+                if p.eat_sym(")") {
+                    break;
+                }
+                p.expect_sym(",")?;
+            }
+            p.expect_kw("onto")?;
+            let onto = p.ident()?;
+            Directive::Distribute {
+                template,
+                formats,
+                onto,
+            }
+        }
+        "on_home" | "onhome" | "on" => {
+            if kw == "on" {
+                p.expect_kw("home")?;
+            }
+            let mut refs = Vec::new();
+            loop {
+                let name = p.ident()?;
+                let mut subs = Vec::new();
+                p.expect_sym("(")?;
+                loop {
+                    subs.push(p.expr()?);
+                    if p.eat_sym(")") {
+                        break;
+                    }
+                    p.expect_sym(",")?;
+                }
+                refs.push((name, subs));
+                if !p.eat_sym(",") {
+                    break;
+                }
+            }
+            Directive::OnHome { refs }
+        }
+        other => {
+            return Err(HpfError::parse(span, format!("unknown directive '{other}'")));
+        }
+    };
+    Ok(d)
+}

@@ -1,0 +1,53 @@
+//! Tokens of the mini-Fortran/HPF language.
+
+use std::fmt;
+
+/// A source position (byte offset, 1-based line, 1-based column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset in the source.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (lower-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Punctuation or operator.
+    Sym(&'static str),
+    /// A `!HPF$`/`CHPF$` directive line's body (raw text after the sigil).
+    Directive(String),
+    /// End of statement (newline).
+    Eos,
+    /// End of file.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Real(v) => write!(f, "{v}"),
+            Tok::Sym(s) => write!(f, "{s}"),
+            Tok::Directive(s) => write!(f, "!HPF$ {s}"),
+            Tok::Eos => write!(f, "<newline>"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Unparsing: render the AST back to (free-form) Fortran source.
+//!
+//! Useful for debugging transformed programs and for readable diagnostics;
+//! `parse(unparse(p))` is semantics-preserving (checked by tests).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole source program.
+pub fn unparse(prog: &SourceProgram) -> String {
+    let mut out = String::new();
+    for unit in &prog.units {
+        unparse_unit(unit, &mut out);
+    }
+    out
+}
+
+/// Renders one program unit.
+pub fn unparse_unit(unit: &Unit, out: &mut String) {
+    if unit.is_program {
+        let _ = writeln!(out, "program {}", unit.name);
+    } else {
+        let _ = writeln!(out, "subroutine {}({})", unit.name, unit.args.join(", "));
+    }
+    for d in &unit.decls {
+        let ty = match d.ty {
+            TypeName::Integer => "integer",
+            TypeName::Real => "real",
+        };
+        let ents: Vec<String> = d
+            .entities
+            .iter()
+            .map(|e| {
+                if e.dims.is_empty() {
+                    e.name.clone()
+                } else {
+                    let dims: Vec<String> = e
+                        .dims
+                        .iter()
+                        .map(|(lb, ub)| match lb {
+                            Some(l) => format!("{}:{}", expr_str(l), expr_str(ub)),
+                            None => expr_str(ub),
+                        })
+                        .collect();
+                    format!("{}({})", e.name, dims.join(","))
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "{ty} {}", ents.join(", "));
+    }
+    if !unit.params.is_empty() {
+        let ps: Vec<String> = unit
+            .params
+            .iter()
+            .map(|p| format!("{} = {}", p.name, expr_str(&p.value)))
+            .collect();
+        let _ = writeln!(out, "parameter ({})", ps.join(", "));
+    }
+    for dir in &unit.directives {
+        let _ = writeln!(out, "!HPF$ {}", directive_str(dir));
+    }
+    for s in &unit.body {
+        unparse_stmt(s, 0, out);
+    }
+    let _ = writeln!(out, "end");
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn unparse_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    match &s.kind {
+        StmtKind::Assign {
+            name,
+            subs,
+            rhs,
+            on_home,
+        } => {
+            if let Some(refs) = on_home {
+                indent(out, depth);
+                let terms: Vec<String> = refs
+                    .iter()
+                    .map(|(n, ss)| {
+                        format!(
+                            "{n}({})",
+                            ss.iter().map(expr_str).collect::<Vec<_>>().join(",")
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(out, "!HPF$ on_home {}", terms.join(", "));
+            }
+            indent(out, depth);
+            if subs.is_empty() {
+                let _ = writeln!(out, "{name} = {}", expr_str(rhs));
+            } else {
+                let ss: Vec<String> = subs.iter().map(expr_str).collect();
+                let _ = writeln!(out, "{name}({}) = {}", ss.join(","), expr_str(rhs));
+            }
+        }
+        StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
+            indent(out, depth);
+            match step {
+                Some(st) => {
+                    let _ = writeln!(
+                        out,
+                        "do {var} = {}, {}, {}",
+                        expr_str(lo),
+                        expr_str(hi),
+                        expr_str(st)
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "do {var} = {}, {}", expr_str(lo), expr_str(hi));
+                }
+            }
+            for b in body {
+                unparse_stmt(b, depth + 1, out);
+            }
+            indent(out, depth);
+            out.push_str("enddo\n");
+        }
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            indent(out, depth);
+            let _ = writeln!(out, "if ({}) then", expr_str(cond));
+            for b in then_body {
+                unparse_stmt(b, depth + 1, out);
+            }
+            if !else_body.is_empty() {
+                indent(out, depth);
+                out.push_str("else\n");
+                for b in else_body {
+                    unparse_stmt(b, depth + 1, out);
+                }
+            }
+            indent(out, depth);
+            out.push_str("endif\n");
+        }
+        StmtKind::Call { name, args } => {
+            indent(out, depth);
+            let ss: Vec<String> = args.iter().map(expr_str).collect();
+            let _ = writeln!(out, "call {name}({})", ss.join(", "));
+        }
+        StmtKind::Read { vars } => {
+            indent(out, depth);
+            let _ = writeln!(out, "read *, {}", vars.join(", "));
+        }
+        StmtKind::Print { args } => {
+            indent(out, depth);
+            if args.is_empty() {
+                out.push_str("print *\n");
+            } else {
+                let ss: Vec<String> = args.iter().map(expr_str).collect();
+                let _ = writeln!(out, "print *, {}", ss.join(", "));
+            }
+        }
+    }
+}
+
+fn directive_str(d: &Directive) -> String {
+    match d {
+        Directive::Processors { name, extents } => {
+            let es: Vec<String> = extents
+                .iter()
+                .map(|e| match e {
+                    ProcExtent::Lit(v) => v.to_string(),
+                    ProcExtent::Sym(e) => expr_str(e),
+                })
+                .collect();
+            format!("processors {name}({})", es.join(", "))
+        }
+        Directive::Template { name, extents } => {
+            let es: Vec<String> = extents.iter().map(expr_str).collect();
+            format!("template {name}({})", es.join(", "))
+        }
+        Directive::Align {
+            array,
+            dummies,
+            target,
+            subs,
+        } => {
+            let ss: Vec<String> = subs
+                .iter()
+                .map(|s| match s {
+                    AlignSub::Star => "*".to_string(),
+                    AlignSub::Expr(e) => expr_str(e),
+                })
+                .collect();
+            format!(
+                "align {array}({}) with {target}({})",
+                dummies.join(","),
+                ss.join(",")
+            )
+        }
+        Directive::Distribute {
+            template,
+            formats,
+            onto,
+        } => {
+            let fs: Vec<String> = formats
+                .iter()
+                .map(|f| match f {
+                    DistFormat::Block => "block".to_string(),
+                    DistFormat::Cyclic => "cyclic".to_string(),
+                    DistFormat::CyclicK(k) => format!("cyclic({k})"),
+                    DistFormat::Star => "*".to_string(),
+                })
+                .collect();
+            format!("distribute {template}({}) onto {onto}", fs.join(","))
+        }
+        Directive::OnHome { refs } => {
+            let ss: Vec<String> = refs
+                .iter()
+                .map(|(n, subs)| {
+                    format!(
+                        "{n}({})",
+                        subs.iter().map(expr_str).collect::<Vec<_>>().join(",")
+                    )
+                })
+                .collect();
+            format!("on_home {}", ss.join(", "))
+        }
+    }
+}
+
+/// Renders an expression with minimal parentheses.
+pub fn expr_str(e: &Expr) -> String {
+    render(e, 0)
+}
+
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Bin(op, _, _) => match op {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => 3,
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Mul | BinOp::Div => 5,
+            BinOp::Pow => 6,
+        },
+        Expr::Un(_, _) => 7,
+        _ => 8,
+    }
+}
+
+fn render(e: &Expr, parent: u8) -> String {
+    let my = prec(e);
+    let body = match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Real(v) => {
+            let s = format!("{v}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::Var(n) => n.clone(),
+        Expr::Ref(n, args) => {
+            let ss: Vec<String> = args.iter().map(|a| render(a, 0)).collect();
+            format!("{n}({})", ss.join(","))
+        }
+        Expr::Bin(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Pow => "**",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Eq => "==",
+                BinOp::Ne => "/=",
+                BinOp::And => ".and.",
+                BinOp::Or => ".or.",
+            };
+            // Right operand of - and / needs a higher bar.
+            let rb = match op {
+                BinOp::Sub | BinOp::Div => my + 1,
+                _ => my,
+            };
+            format!("{} {sym} {}", render(a, my), render(b, rb))
+        }
+        Expr::Un(UnOp::Neg, a) => format!("-{}", render(a, 7)),
+        Expr::Un(UnOp::Not, a) => format!(".not. {}", render(a, 7)),
+    };
+    if my < parent {
+        format!("({body})")
+    } else {
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SRC: &str = "
+program demo
+integer n
+real a(0:99,100), b(100,100)
+parameter (n = 100)
+!HPF$ processors p(4)
+!HPF$ template t(100,100)
+!HPF$ align a(i,j) with t(i+1,j)
+!HPF$ distribute t(*,block) onto p
+do i = 1, n - 1
+  do j = 2, n, 2
+!HPF$ on_home b(j-1,i)
+    a(i,j) = b(j-1,i) * 2.0 - (a(i,j) + 1.0) / 4.0
+  enddo
+enddo
+if (n > 10) then
+  print *, n
+else
+  read *, m
+endif
+end
+";
+
+    #[test]
+    fn roundtrip_parses_and_preserves_structure() {
+        let p1 = parse(SRC).unwrap();
+        let text = unparse(&p1);
+        let p2 = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        // Structure checks.
+        assert_eq!(p2.units.len(), 1);
+        let (u1, u2) = (&p1.units[0], &p2.units[0]);
+        assert_eq!(u1.name, u2.name);
+        assert_eq!(u1.decls.len(), u2.decls.len());
+        assert_eq!(u1.directives.len(), u2.directives.len());
+        assert_eq!(u1.body.len(), u2.body.len());
+        // Second roundtrip is a fixpoint.
+        assert_eq!(text, unparse(&p2));
+    }
+
+    #[test]
+    fn expr_precedence_minimal_parens() {
+        let p = parse("program x\ny = a * (b + c) - d / e\nend").unwrap();
+        let text = unparse(&p);
+        assert!(text.contains("y = a * (b + c) - d / e"), "{text}");
+    }
+
+    #[test]
+    fn on_home_survives_roundtrip() {
+        let p1 = parse(SRC).unwrap();
+        let text = unparse(&p1);
+        assert!(text.contains("!HPF$ on_home b(j - 1,i)"), "{text}");
+    }
+}

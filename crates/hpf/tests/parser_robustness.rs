@@ -1,0 +1,122 @@
+//! Frontend robustness: malformed programs produce positioned errors,
+//! never panics; tricky-but-legal inputs parse.
+
+use dhpf_hpf::{analyze, parse};
+
+fn err_of(src: &str) -> String {
+    match parse(src) {
+        Err(e) => e.to_string(),
+        Ok(prog) => match prog.units.first().map(analyze) {
+            Some(Err(e)) => e.to_string(),
+            _ => panic!("expected an error for: {src}"),
+        },
+    }
+}
+
+#[test]
+fn missing_end_is_an_error() {
+    let e = err_of("program p\nx = 1\n");
+    assert!(e.contains("end"), "{e}");
+}
+
+#[test]
+fn unterminated_do_is_an_error() {
+    let e = err_of("program p\ndo i = 1, 10\n  x = 1\nend\n");
+    // 'end' closes the unit while the DO block wants enddo.
+    assert!(!e.is_empty());
+}
+
+#[test]
+fn bad_expression_is_positioned() {
+    let e = err_of("program p\nx = 1 +\nend\n");
+    assert!(e.contains("parse error"), "{e}");
+    assert!(e.contains(':'), "has line:col: {e}");
+}
+
+#[test]
+fn unknown_directive_is_an_error() {
+    let e = err_of("program p\n!HPF$ frobnicate x\nx = 1\nend\n");
+    assert!(e.contains("frobnicate"), "{e}");
+}
+
+#[test]
+fn distribute_arity_mismatch() {
+    let e = err_of(
+        "program p\nreal a(10)\n!HPF$ template t(10)\n!HPF$ distribute t(block,block) onto q\na(1) = 0.0\nend\n",
+    );
+    assert!(e.contains("rank") || e.contains("match"), "{e}");
+}
+
+#[test]
+fn align_of_undeclared_array() {
+    let e = err_of(
+        "program p\n!HPF$ template t(10)\n!HPF$ align z(i) with t(i)\nx = 1\nend\n",
+    );
+    assert!(e.contains("undeclared"), "{e}");
+}
+
+#[test]
+fn cyclic_k_requires_constant() {
+    let e = err_of(
+        "program p\nreal a(10)\n!HPF$ processors q(2)\n!HPF$ template t(10)\n!HPF$ align a(i) with t(i)\n!HPF$ distribute t(cyclic(k)) onto q\na(1) = 0.0\nend\n",
+    );
+    assert!(e.contains("cyclic"), "{e}");
+}
+
+#[test]
+fn case_insensitivity_and_continuations() {
+    let prog = parse(
+        "PROGRAM Mixed\nREAL A(10)\nDO I = 1, &\n   10\n  A(I) = I * 1.0\nENDDO\nEND\n",
+    )
+    .unwrap();
+    assert_eq!(prog.units[0].name, "mixed");
+}
+
+#[test]
+fn end_do_and_end_if_spellings() {
+    let prog = parse(
+        "program p\ndo i = 1, 3\n  if (i > 1) then\n    x = i\n  end if\nend do\nend\n",
+    )
+    .unwrap();
+    assert_eq!(prog.units[0].body.len(), 1);
+}
+
+#[test]
+fn one_line_if() {
+    let prog = parse("program p\nif (x > 0) y = 1\nend\n").unwrap();
+    match &prog.units[0].body[0].kind {
+        dhpf_hpf::StmtKind::If { then_body, .. } => assert_eq!(then_body.len(), 1),
+        other => panic!("expected IF, got {other:?}"),
+    }
+}
+
+#[test]
+fn multiple_units() {
+    let prog = parse(
+        "program main\nx = 1\nend\nsubroutine helper(a, b)\nreal a(10)\na(1) = b\nend\n",
+    )
+    .unwrap();
+    assert_eq!(prog.units.len(), 2);
+    assert!(!prog.units[1].is_program);
+    assert_eq!(prog.units[1].args, vec!["a".to_string(), "b".to_string()]);
+}
+
+#[test]
+fn negative_bounds_and_steps() {
+    let prog = parse("program p\ndo i = 10, 1, -2\n  x = i\nenddo\nend\n").unwrap();
+    match &prog.units[0].body[0].kind {
+        dhpf_hpf::StmtKind::Do { step: Some(s), .. } => {
+            assert_eq!(s.const_int(), Some(-2));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn comment_styles() {
+    let prog = parse(
+        "! free comment\nc classic comment\nprogram p\nx = 1 ! trailing\n* star comment\nend\n",
+    )
+    .unwrap();
+    assert_eq!(prog.units[0].body.len(), 1);
+}

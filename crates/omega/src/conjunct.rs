@@ -1,0 +1,901 @@
+//! Conjunctions of affine equality/inequality constraints with existentials.
+//!
+//! A [`Conjunct`] is the convex-with-congruences building block of a
+//! [`Relation`](crate::Relation): a conjunction of `e = 0` and `e >= 0`
+//! constraints over parameters, tuple variables, and existentially
+//! quantified variables. Non-convex sets are unions of conjuncts.
+//!
+//! The key algorithms here are exact *integer* variable elimination:
+//! equality elimination via Pugh's symmetric-modulus substitution, and
+//! inequality elimination via Fourier–Motzkin with the Omega test's dark
+//! shadow and splinter sets, so that projections remain exact over Z.
+
+use crate::linexpr::LinExpr;
+use crate::num::{floor_div, modulo, mul};
+use crate::var::Var;
+use std::collections::BTreeSet;
+
+/// A conjunction of constraints: all `eqs` are `= 0`, all `geqs` are `>= 0`.
+///
+/// Existential variables `Var::Exist(0..n_exist)` are local to the conjunct.
+///
+/// # Examples
+///
+/// ```
+/// use dhpf_omega::{Conjunct, LinExpr, Var};
+/// // { [i] : 1 <= i <= 10 }
+/// let mut c = Conjunct::new();
+/// c.add_geq(LinExpr::var(Var::In(0)) - LinExpr::constant(1));
+/// c.add_geq(LinExpr::constant(10) - LinExpr::var(Var::In(0)));
+/// assert!(c.is_satisfiable());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Conjunct {
+    n_exist: u32,
+    eqs: Vec<LinExpr>,
+    geqs: Vec<LinExpr>,
+}
+
+/// Result of normalizing a conjunct: either still possibly satisfiable, or
+/// proven empty by a trivial contradiction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Normalized {
+    /// No trivial contradiction was found.
+    Consistent,
+    /// The conjunct is provably empty.
+    False,
+}
+
+impl Conjunct {
+    /// Creates the unconstrained (universe) conjunct.
+    pub fn new() -> Self {
+        Conjunct::default()
+    }
+
+    /// Number of existential variables in use.
+    pub fn n_exist(&self) -> u32 {
+        self.n_exist
+    }
+
+    /// The equality constraints (`expr = 0`).
+    pub fn eqs(&self) -> &[LinExpr] {
+        &self.eqs
+    }
+
+    /// The inequality constraints (`expr >= 0`).
+    pub fn geqs(&self) -> &[LinExpr] {
+        &self.geqs
+    }
+
+    /// Adds the constraint `e = 0`.
+    pub fn add_eq(&mut self, e: LinExpr) {
+        self.note_exists(&e);
+        self.eqs.push(e);
+    }
+
+    /// Adds the constraint `e >= 0`.
+    pub fn add_geq(&mut self, e: LinExpr) {
+        self.note_exists(&e);
+        self.geqs.push(e);
+    }
+
+    /// Adds the pair `lo <= v <= hi` for convenience.
+    pub fn add_bounds(&mut self, v: Var, lo: i64, hi: i64) {
+        self.add_geq(LinExpr::var(v) - LinExpr::constant(lo));
+        self.add_geq(LinExpr::constant(hi) - LinExpr::var(v));
+    }
+
+    /// Allocates a fresh existential variable.
+    pub fn fresh_exist(&mut self) -> Var {
+        let v = Var::Exist(self.n_exist);
+        self.n_exist += 1;
+        v
+    }
+
+    /// Adds the congruence `e ≡ 0 (mod k)` via a fresh existential.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k <= 0`.
+    pub fn add_stride(&mut self, e: LinExpr, k: i64) {
+        assert!(k > 0, "stride modulus must be positive, got {k}");
+        if k == 1 {
+            return;
+        }
+        let alpha = self.fresh_exist();
+        let mut c = e;
+        c.add_term(alpha, -k);
+        self.add_eq(c);
+    }
+
+    fn note_exists(&mut self, e: &LinExpr) {
+        if let Some(m) = e.max_exist() {
+            self.n_exist = self.n_exist.max(m + 1);
+        }
+    }
+
+    /// All non-existential variables mentioned by the constraints.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        self.all_vars().into_iter().filter(|v| !v.is_exist()).collect()
+    }
+
+    /// All variables (including existentials) mentioned by the constraints.
+    pub fn all_vars(&self) -> BTreeSet<Var> {
+        let mut s = BTreeSet::new();
+        for e in self.eqs.iter().chain(&self.geqs) {
+            s.extend(e.vars());
+        }
+        s
+    }
+
+    /// Returns `true` if `v` occurs in any constraint.
+    pub fn mentions(&self, v: Var) -> bool {
+        self.eqs
+            .iter()
+            .chain(&self.geqs)
+            .any(|e| e.coeff(v) != 0)
+    }
+
+    /// Renames all variables through `f` (must be injective).
+    pub fn rename<F: Fn(Var) -> Var>(&self, f: F) -> Conjunct {
+        let mut c = Conjunct::new();
+        for e in &self.eqs {
+            c.add_eq(e.rename(&f));
+        }
+        for e in &self.geqs {
+            c.add_geq(e.rename(&f));
+        }
+        c.n_exist = c.n_exist.max(self.n_exist);
+        c
+    }
+
+    /// Conjoins `other` into `self`, renumbering `other`'s existentials so
+    /// they do not collide.
+    pub fn merge(&mut self, other: &Conjunct) {
+        let off = self.n_exist;
+        let remap = |v: Var| match v {
+            Var::Exist(i) => Var::Exist(i + off),
+            v => v,
+        };
+        for e in &other.eqs {
+            self.add_eq(e.rename(remap));
+        }
+        for e in &other.geqs {
+            self.add_geq(e.rename(remap));
+        }
+        self.n_exist = self.n_exist.max(off + other.n_exist);
+    }
+
+    /// Substitutes `v := repl` in every constraint.
+    pub fn substitute(&mut self, v: Var, repl: &LinExpr) {
+        self.note_exists(repl);
+        for e in self.eqs.iter_mut().chain(self.geqs.iter_mut()) {
+            e.substitute(v, repl);
+        }
+    }
+
+    /// Binds several variables to constants (partial evaluation).
+    pub fn bind<F: Fn(Var) -> Option<i64>>(&self, lookup: F) -> Conjunct {
+        let mut c = Conjunct::new();
+        for e in &self.eqs {
+            c.add_eq(e.partial_eval(&lookup));
+        }
+        for e in &self.geqs {
+            c.add_geq(e.partial_eval(&lookup));
+        }
+        c.n_exist = self.n_exist;
+        c
+    }
+
+    /// Normalizes constraints in place: divides by coefficient GCDs
+    /// (tightening inequalities over Z), drops tautologies, and detects
+    /// trivial contradictions.
+    pub fn normalize(&mut self) -> Normalized {
+        let mut ok = true;
+        self.eqs.retain_mut(|e| {
+            let g = e.coeff_gcd();
+            if g == 0 {
+                if e.constant_term() != 0 {
+                    ok = false;
+                }
+                return false; // constant eq: tautology or contradiction
+            }
+            if e.constant_term() % g != 0 {
+                ok = false; // e.g. 2x + 1 = 0 has no integer solution
+                return true;
+            }
+            if g > 1 {
+                *e = exact_div(e, g);
+            }
+            // Canonical sign: leading coefficient positive.
+            let lead = e.terms().next().map(|(_, c)| c);
+            if matches!(lead, Some(c) if c < 0) {
+                *e = e.negated();
+            }
+            true
+        });
+        if !ok {
+            return Normalized::False;
+        }
+        self.geqs.retain_mut(|e| {
+            let g = e.coeff_gcd();
+            if g == 0 {
+                if e.constant_term() < 0 {
+                    ok = false;
+                }
+                return false;
+            }
+            if g > 1 {
+                // g*f + c >= 0  <=>  f + floor(c/g) >= 0 over the integers.
+                *e = tighten_div(e, g);
+            }
+            true
+        });
+        if !ok {
+            return Normalized::False;
+        }
+        // Opposing inequalities e >= 0 and -e >= 0 become the equality e = 0;
+        // e >= 0 and -e - k >= 0 (k > 0) is a contradiction.
+        let mut i = 0;
+        while i < self.geqs.len() {
+            let mut j = i + 1;
+            let mut promoted = false;
+            while j < self.geqs.len() {
+                let sum = self.geqs[i].clone() + self.geqs[j].clone();
+                if sum.is_constant() {
+                    let c = sum.constant_term();
+                    if c < 0 {
+                        return Normalized::False;
+                    }
+                    if c == 0 {
+                        let e = self.geqs[i].clone();
+                        self.geqs.remove(j);
+                        self.geqs.remove(i);
+                        self.add_eq(e);
+                        promoted = true;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if !promoted {
+                i += 1;
+            }
+        }
+        self.eqs.sort();
+        self.eqs.dedup();
+        self.geqs.sort();
+        self.geqs.dedup();
+        // Keep only the tightest of parallel inequalities (same coefficients,
+        // different constants).
+        self.geqs.dedup_by(|b, a| {
+            let d = b.clone() - a.clone();
+            // after sort, a <= b; identical coefficients => d is constant
+            if d.is_constant() {
+                // a: f + c1 >= 0, b: f + c2 >= 0 with c1 <= c2; keep a.
+                d.constant_term() >= 0
+            } else {
+                false
+            }
+        });
+        Normalized::Consistent
+    }
+
+    /// Returns `true` if the conjunct has no constraints at all.
+    pub fn is_universe(&self) -> bool {
+        self.eqs.is_empty() && self.geqs.is_empty()
+    }
+
+    /// Decides satisfiability exactly over the integers, treating *all*
+    /// variables (parameters included) as unknowns.
+    ///
+    /// This is the Omega test: equality elimination with coefficient
+    /// reduction, then Fourier–Motzkin with dark shadow and splinters.
+    pub fn is_satisfiable(&self) -> bool {
+        let mut work = vec![self.clone()];
+        let mut fuel: u64 = 200_000;
+        while let Some(mut c) = work.pop() {
+            if fuel == 0 {
+                // Fuel exhaustion is conservative: report satisfiable.
+                return true;
+            }
+            fuel = fuel.saturating_sub(1);
+            if c.normalize() == Normalized::False {
+                continue;
+            }
+            match c.pick_sat_step() {
+                SatStep::Done => {
+                    // No variables left; normalize() already validated the
+                    // constant constraints.
+                    return true;
+                }
+                SatStep::SubstituteUnit(idx, v) => {
+                    if c.substitute_from_eq(idx, v) {
+                        work.push(c);
+                    }
+                }
+                SatStep::ModhatReduce(idx, v) => {
+                    c.modhat_reduce(idx, v);
+                    work.push(c);
+                }
+                SatStep::Fme(v) => {
+                    work.extend(c.eliminate_exact(v));
+                }
+            }
+        }
+        false
+    }
+
+    /// Chooses the next satisfiability-preserving reduction step.
+    fn pick_sat_step(&self) -> SatStep {
+        // Prefer a variable with a unit coefficient in an equality.
+        for (i, e) in self.eqs.iter().enumerate() {
+            for (v, c) in e.terms() {
+                if c.abs() == 1 {
+                    return SatStep::SubstituteUnit(i, v);
+                }
+            }
+        }
+        // Then reduce any equality with variables (Pugh's symmetric-modulus
+        // step; coefficients shrink until a unit appears).
+        for (i, e) in self.eqs.iter().enumerate() {
+            if let Some(v) = e
+                .terms()
+                .min_by_key(|&(_, c)| c.abs())
+                .map(|(v, _)| v)
+            {
+                return SatStep::ModhatReduce(i, v);
+            }
+        }
+        // Then the inequality variable with the cheapest FME cost.
+        let vars = self.all_vars();
+        match vars.into_iter().min_by_key(|&v| {
+            let lowers = self.geqs.iter().filter(|e| e.coeff(v) > 0).count();
+            let uppers = self.geqs.iter().filter(|e| e.coeff(v) < 0).count();
+            lowers * uppers
+        }) {
+            Some(v) => SatStep::Fme(v),
+            None => SatStep::Done,
+        }
+    }
+
+    /// Substitutes `v` away using equality `eqs[idx]` where `v` has a unit
+    /// coefficient. Returns `false` if normalization finds a contradiction.
+    fn substitute_from_eq(&mut self, idx: usize, v: Var) -> bool {
+        let eq = self.eqs.remove(idx);
+        let a = eq.coeff(v);
+        debug_assert_eq!(a.abs(), 1);
+        let mut rest = eq;
+        rest.remove_term(v);
+        let repl = rest.scaled(-a);
+        self.substitute(v, &repl);
+        self.normalize() != Normalized::False
+    }
+
+    /// One step of Pugh's symmetric-modulus equality reduction on
+    /// `eqs[idx]`, whose minimum-coefficient variable is `v` (|coeff| > 1).
+    /// Introduces a fresh existential and substitutes `v` away; the reduced
+    /// equality's coefficients shrink, guaranteeing overall termination.
+    fn modhat_reduce(&mut self, idx: usize, v: Var) {
+        let eq = self.eqs[idx].clone();
+        let a = eq.coeff(v);
+        debug_assert!(a.abs() > 1);
+        let m = a.abs() + 1;
+        let sigma = self.fresh_exist();
+        let mut neweq = LinExpr::term(sigma, -m);
+        for (w, cw) in eq.terms() {
+            neweq.add_term(w, modhat(cw, m));
+        }
+        neweq.add_constant(modhat(eq.constant_term(), m));
+        let cv = neweq.coeff(v);
+        debug_assert_eq!(cv.abs(), 1, "modhat must give v a unit coefficient");
+        let mut rest = neweq;
+        rest.remove_term(v);
+        let repl = rest.scaled(-cv);
+        self.substitute(v, &repl);
+    }
+
+    /// Exactly eliminates `v`, returning a disjunction of conjuncts whose
+    /// integer solutions project precisely onto the solutions of `self`
+    /// with `v` removed. Tuple/parameter variables eliminated through
+    /// congruences are replaced by fresh existentials.
+    pub fn eliminate_exact(&self, v: Var) -> Vec<Conjunct> {
+        let mut c = self.clone();
+        if c.normalize() == Normalized::False {
+            return Vec::new();
+        }
+        if !c.mentions(v) {
+            return vec![c];
+        }
+        // Equality path.
+        if let Some(idx) = c.best_eq_for(v) {
+            return c.eliminate_via_eq(idx, v);
+        }
+        c.eliminate_via_fme(v)
+    }
+
+    /// Index of the equality in which `v` has the smallest nonzero |coeff|.
+    fn best_eq_for(&self, v: Var) -> Option<usize> {
+        self.eqs
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.coeff(v) != 0)
+            .min_by_key(|(_, e)| e.coeff(v).abs())
+            .map(|(i, _)| i)
+    }
+
+    /// Eliminates `v` using equality `eqs[idx]`.
+    fn eliminate_via_eq(mut self, idx: usize, v: Var) -> Vec<Conjunct> {
+        let eq = self.eqs[idx].clone();
+        let a = eq.coeff(v);
+        debug_assert_ne!(a, 0);
+        if a.abs() == 1 {
+            // v = -a * (eq - a*v)  since a*v + rest = 0 => v = -rest/a.
+            let mut rest = eq.clone();
+            rest.remove_term(v);
+            let repl = rest.scaled(-a); // a in {1,-1}: -rest/a == -a*rest
+            self.eqs.remove(idx);
+            self.substitute(v, &repl);
+            let mut out = self;
+            if out.normalize() == Normalized::False {
+                return Vec::new();
+            }
+            return vec![out];
+        }
+        // |a| > 1: multiply-through elimination. Remove v from every *other*
+        // constraint by exact linear combination with the defining equality
+        // (a*v = -e); the defining equality itself then holds v as a pure
+        // congruence witness (`exists v : a*v + e = 0`  <=>  `e ≡ 0 mod a`).
+        let mut e_rest = eq.clone();
+        e_rest.remove_term(v); // eq is a*v + e_rest = 0
+        for (k, f) in self.eqs.iter_mut().enumerate() {
+            if k == idx {
+                continue;
+            }
+            let av = f.remove_term(v);
+            if av == 0 {
+                continue;
+            }
+            // a*f - av*(a*v + e_rest) = a*(f - av*v) - av*e_rest = 0
+            let mut nf = f.scaled(a);
+            nf.add_scaled(&e_rest, -av);
+            *f = nf;
+        }
+        for h in self.geqs.iter_mut() {
+            let av = h.remove_term(v);
+            if av == 0 {
+                continue;
+            }
+            // |a|*(av*v + h') >= 0 with a*v = -e_rest:
+            //   a > 0:  -av*e_rest + a*h' >= 0
+            //   a < 0:   av*e_rest - a*h' >= 0
+            let mut nh = h.scaled(a.abs());
+            nh.add_scaled(&e_rest, if a > 0 { -av } else { av });
+            *h = nh;
+        }
+        // Re-home the witness: if v was a tuple or parameter variable, the
+        // congruence must quantify a fresh existential instead.
+        if !v.is_exist() {
+            let alpha = self.fresh_exist();
+            let i = self
+                .eqs
+                .iter()
+                .position(|e| e.coeff(v) != 0)
+                .expect("defining equality present");
+            let c = self.eqs[i].remove_term(v);
+            self.eqs[i].add_term(alpha, c);
+        }
+        if self.normalize() == Normalized::False {
+            return Vec::new();
+        }
+        vec![self]
+    }
+
+    /// Eliminates `v` (appearing only in inequalities) exactly:
+    /// dark shadow plus splinters.
+    fn eliminate_via_fme(mut self, v: Var) -> Vec<Conjunct> {
+        let mut lowers = Vec::new(); // (a, L): a*v + L >= 0 with a > 0
+        let mut uppers = Vec::new(); // (b, U): -b*v + U >= 0 with b > 0
+        let mut others = Vec::new();
+        for e in self.geqs.drain(..) {
+            let cv = e.coeff(v);
+            let mut rest = e;
+            rest.remove_term(v);
+            if cv > 0 {
+                lowers.push((cv, rest));
+            } else if cv < 0 {
+                uppers.push((-cv, rest));
+            } else {
+                others.push(rest);
+            }
+        }
+        let base = {
+            let mut c = Conjunct::new();
+            c.n_exist = self.n_exist;
+            c.eqs = self.eqs.clone();
+            c.geqs = others;
+            c
+        };
+        if lowers.is_empty() || uppers.is_empty() {
+            // v is unbounded on one side: projection drops its constraints.
+            let mut out = base;
+            if out.normalize() == Normalized::False {
+                return Vec::new();
+            }
+            return vec![out];
+        }
+        let mut exact = true;
+        let mut dark = base.clone();
+        for (a, l) in &lowers {
+            for (b, u) in &uppers {
+                // a*v >= -L and b*v <= U  =>  a*U + b*L >= 0 (real shadow)
+                let mut comb = u.scaled(*a);
+                comb.add_scaled(l, *b);
+                if *a > 1 && *b > 1 {
+                    exact = false;
+                    // dark shadow: a*U + b*L >= (a-1)(b-1)
+                    let mut d = comb.clone();
+                    d.add_constant(-((*a - 1) * (*b - 1)));
+                    dark.add_geq(d);
+                } else {
+                    dark.add_geq(comb);
+                }
+            }
+        }
+        if exact {
+            let mut out = dark;
+            if out.normalize() == Normalized::False {
+                return Vec::new();
+            }
+            return vec![out];
+        }
+        let mut results = Vec::new();
+        if dark.normalize() != Normalized::False {
+            results.push(dark);
+        }
+        // Splinters: any solution outside the dark shadow satisfies
+        // a*v = -L + i for some lower bound (a, L) with a > 1 and
+        // 0 <= i <= (a*bmax - a - bmax) / bmax.
+        let bmax = uppers.iter().map(|&(b, _)| b).max().unwrap();
+        for (a, l) in &lowers {
+            if *a <= 1 {
+                continue;
+            }
+            let imax = floor_div(mul(*a, bmax) - *a - bmax, bmax);
+            for i in 0..=imax {
+                // Rebuild the original conjunct and pin a*v + L - i = 0.
+                let mut s = base.clone();
+                for (a2, l2) in &lowers {
+                    let mut e = l2.clone();
+                    e.add_term(v, *a2);
+                    s.add_geq(e);
+                }
+                for (b2, u2) in &uppers {
+                    let mut e = u2.clone();
+                    e.add_term(v, -*b2);
+                    s.add_geq(e);
+                }
+                let mut pin = l.clone();
+                pin.add_term(v, *a);
+                pin.add_constant(-i);
+                s.add_eq(pin);
+                // Recurse: the pinned equality eliminates v exactly.
+                results.extend(s.eliminate_exact(v));
+            }
+        }
+        results
+    }
+
+    /// Returns `true` if this conjunct, conjoined with `context`, is
+    /// unsatisfiable.
+    pub fn is_empty_given(&self, context: &Conjunct) -> bool {
+        let mut c = self.clone();
+        c.merge(context);
+        !c.is_satisfiable()
+    }
+
+    /// Removes constraints that are implied by `context` (the *gist*
+    /// operation): the result, conjoined with `context`, equals
+    /// `self ∧ context`.
+    pub fn gist_given(&self, context: &Conjunct) -> Conjunct {
+        let mut out = Conjunct::new();
+        out.n_exist = self.n_exist;
+        for e in &self.eqs {
+            // e = 0 implied iff both e >= 0 and -e >= 0 are implied.
+            if implied_by(context, self, e, true) {
+                continue;
+            }
+            out.eqs.push(e.clone());
+        }
+        for e in &self.geqs {
+            if implied_by(context, self, e, false) {
+                continue;
+            }
+            out.geqs.push(e.clone());
+        }
+        out
+    }
+
+    /// Removes inequalities implied by the *other* constraints of this
+    /// conjunct (redundancy elimination).
+    pub fn remove_redundant(&mut self) {
+        let mut i = 0;
+        while i < self.geqs.len() {
+            // geqs[i] is redundant iff (rest ∧ geqs[i] <= -1) is unsat.
+            let mut test = self.clone();
+            let e = test.geqs.remove(i);
+            let mut neg = e.negated();
+            neg.add_constant(-1);
+            test.add_geq(neg);
+            if !test.is_satisfiable() {
+                self.geqs.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Evaluates membership of a full assignment of the *free* variables:
+    /// substitutes and decides the remaining existential system exactly.
+    pub fn contains<F: Fn(Var) -> Option<i64>>(&self, lookup: F) -> bool {
+        let bound = self.bind(|v| if v.is_exist() { None } else { lookup(v) });
+        bound.is_satisfiable()
+    }
+}
+
+/// `true` if constraint `e` (eq if `as_eq`) is implied by `context` within
+/// the world of `subject`'s remaining constraints.
+fn implied_by(context: &Conjunct, _subject: &Conjunct, e: &LinExpr, as_eq: bool) -> bool {
+    // e >= 0 implied by context  iff  context ∧ (e <= -1) unsat.
+    let implied_geq = |expr: &LinExpr| {
+        let mut test = context.clone();
+        let mut neg = expr.negated();
+        neg.add_constant(-1);
+        test.add_geq(neg);
+        !test.is_satisfiable()
+    };
+    if as_eq {
+        implied_geq(e) && implied_geq(&e.negated())
+    } else {
+        implied_geq(e)
+    }
+}
+
+/// One step of the satisfiability decision procedure.
+#[derive(Clone, Copy, Debug)]
+enum SatStep {
+    /// All variables eliminated; the conjunct is satisfiable.
+    Done,
+    /// Substitute the unit-coefficient variable of the given equality.
+    SubstituteUnit(usize, Var),
+    /// Reduce the given equality's coefficients with a symmetric-modulus
+    /// substitution of the given variable.
+    ModhatReduce(usize, Var),
+    /// Fourier–Motzkin-eliminate the given inequality-only variable.
+    Fme(Var),
+}
+
+/// Symmetric modulus: `modhat(a, m) ≡ a (mod m)` with result in
+/// `(-m/2, m/2]`.
+fn modhat(a: i64, m: i64) -> i64 {
+    let r = modulo(a, m);
+    if 2 * r > m {
+        r - m
+    } else {
+        r
+    }
+}
+
+/// Divides an equality by `g` exactly.
+fn exact_div(e: &LinExpr, g: i64) -> LinExpr {
+    LinExpr::from_terms(
+        e.terms().map(|(v, c)| (v, c / g)),
+        e.constant_term() / g,
+    )
+}
+
+/// Divides an inequality `e >= 0` by the coefficient gcd `g`, tightening the
+/// constant with floor division (exact over Z).
+fn tighten_div(e: &LinExpr, g: i64) -> LinExpr {
+    LinExpr::from_terms(
+        e.terms().map(|(v, c)| (v, c / g)),
+        floor_div(e.constant_term(), g),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(n: u32) -> Var {
+        Var::In(n)
+    }
+
+    fn e(terms: &[(Var, i64)], c: i64) -> LinExpr {
+        LinExpr::from_terms(terms.iter().copied(), c)
+    }
+
+    #[test]
+    fn modhat_properties() {
+        for m in 2..8i64 {
+            for a in -20..20i64 {
+                let r = modhat(a, m);
+                assert_eq!(modulo(a - r, m), 0, "a={a} m={m}");
+                assert!(2 * r <= m && 2 * r > -m, "a={a} m={m} r={r}");
+            }
+        }
+        // Key property used by equality elimination.
+        assert_eq!(modhat(4, 5), -1);
+        assert_eq!(modhat(-4, 5), 1);
+    }
+
+    #[test]
+    fn normalize_tightens_inequalities() {
+        // 2x - 3 >= 0  =>  x - 2 >= 0 (x >= ceil(3/2) = 2)
+        let mut c = Conjunct::new();
+        c.add_geq(e(&[(iv(0), 2)], -3));
+        assert_eq!(c.normalize(), Normalized::Consistent);
+        assert_eq!(c.geqs()[0], e(&[(iv(0), 1)], -2));
+    }
+
+    #[test]
+    fn normalize_detects_integer_infeasible_equality() {
+        // 2x + 1 = 0 has no integer solution.
+        let mut c = Conjunct::new();
+        c.add_eq(e(&[(iv(0), 2)], 1));
+        assert_eq!(c.normalize(), Normalized::False);
+    }
+
+    #[test]
+    fn normalize_promotes_opposing_inequalities() {
+        let mut c = Conjunct::new();
+        c.add_geq(e(&[(iv(0), 1)], -5)); // x >= 5
+        c.add_geq(e(&[(iv(0), -1)], 5)); // x <= 5
+        assert_eq!(c.normalize(), Normalized::Consistent);
+        assert_eq!(c.eqs().len(), 1);
+        assert!(c.geqs().is_empty());
+    }
+
+    #[test]
+    fn satisfiable_simple_box() {
+        let mut c = Conjunct::new();
+        c.add_bounds(iv(0), 1, 10);
+        c.add_bounds(iv(1), 5, 5);
+        assert!(c.is_satisfiable());
+    }
+
+    #[test]
+    fn unsatisfiable_empty_interval() {
+        let mut c = Conjunct::new();
+        c.add_bounds(iv(0), 10, 1);
+        assert!(!c.is_satisfiable());
+    }
+
+    #[test]
+    fn omega_test_catches_integer_holes() {
+        // 2x = y, 3x = z, y = 1, z = 1 -> no integer solution
+        let mut c = Conjunct::new();
+        c.add_eq(e(&[(iv(0), 2), (iv(1), -1)], 0));
+        c.add_eq(e(&[(iv(1), 1)], -1));
+        assert!(!c.is_satisfiable());
+    }
+
+    #[test]
+    fn dark_shadow_inexact_case() {
+        // Classic: 0 <= 3x - 2 and 3x <= 4 -> x in [2/3, 4/3] -> x = 1. Sat.
+        let mut c = Conjunct::new();
+        c.add_geq(e(&[(iv(0), 3)], -2));
+        c.add_geq(e(&[(iv(0), -3)], 4));
+        assert!(c.is_satisfiable());
+        // 3 <= 3x - ... : 3x in [4, 5] -> no integer x. Unsat.
+        let mut c2 = Conjunct::new();
+        c2.add_geq(e(&[(iv(0), 3)], -4)); // 3x >= 4
+        c2.add_geq(e(&[(iv(0), -3)], 5)); // 3x <= 5
+        assert!(!c2.is_satisfiable());
+    }
+
+    #[test]
+    fn stride_constraints() {
+        // { x : 0 <= x <= 10, x ≡ 0 mod 4, x ≡ 0 mod 3 } -> x in {0, 12...}
+        // within bounds only x = 0; adding x >= 1 makes it unsat.
+        let mut c = Conjunct::new();
+        c.add_bounds(iv(0), 1, 10);
+        c.add_stride(LinExpr::var(iv(0)), 4);
+        c.add_stride(LinExpr::var(iv(0)), 3);
+        assert!(!c.is_satisfiable());
+        let mut c2 = Conjunct::new();
+        c2.add_bounds(iv(0), 0, 12);
+        c2.add_stride(LinExpr::var(iv(0)), 4);
+        c2.add_stride(LinExpr::var(iv(0)), 3);
+        assert!(c2.is_satisfiable());
+    }
+
+    #[test]
+    fn eliminate_exact_projection_block_distribution() {
+        // { a : exists p : 25p <= a <= 25p + 24, 0 <= p <= 3 } == [0, 99]
+        // when a ranges over, say, [-10, 110].
+        let p = Var::Exist(0);
+        let a = iv(0);
+        let mut c = Conjunct::new();
+        c.n_exist = 1;
+        c.add_geq(e(&[(a, 1), (p, -25)], 0)); // a - 25p >= 0
+        c.add_geq(e(&[(a, -1), (p, 25)], 24)); // 25p + 24 - a >= 0
+        c.add_bounds(p, 0, 3);
+        let pieces = c.eliminate_exact(p);
+        assert!(!pieces.is_empty());
+        for aval in -10..=110i64 {
+            let member = pieces
+                .iter()
+                .any(|pc| pc.contains(|v| if v == a { Some(aval) } else { None }));
+            assert_eq!(member, (0..=99).contains(&aval), "a = {aval}");
+        }
+    }
+
+    #[test]
+    fn contains_respects_existentials() {
+        // { x : exists a : x = 2a } = even numbers
+        let mut c = Conjunct::new();
+        c.add_stride(LinExpr::var(iv(0)), 2);
+        assert!(c.contains(|v| if v == iv(0) { Some(4) } else { None }));
+        assert!(!c.contains(|v| if v == iv(0) { Some(5) } else { None }));
+    }
+
+    #[test]
+    fn gist_removes_implied_constraints() {
+        // gist (1 <= x <= 5) given (x >= 1) = (x <= 5)
+        let mut g = Conjunct::new();
+        g.add_bounds(iv(0), 1, 5);
+        let mut ctx = Conjunct::new();
+        ctx.add_geq(e(&[(iv(0), 1)], -1));
+        let r = g.gist_given(&ctx);
+        assert_eq!(r.geqs().len(), 1);
+        assert_eq!(r.geqs()[0], e(&[(iv(0), -1)], 5));
+    }
+
+    #[test]
+    fn remove_redundant_drops_loose_bound() {
+        let mut c = Conjunct::new();
+        c.add_geq(e(&[(iv(0), 1)], -5)); // x >= 5
+        c.add_geq(e(&[(iv(0), 1)], 0)); // x >= 0 (redundant)
+        c.remove_redundant();
+        assert_eq!(c.geqs().len(), 1);
+        assert_eq!(c.geqs()[0], e(&[(iv(0), 1)], -5));
+    }
+
+    #[test]
+    fn merge_renumbers_existentials() {
+        let mut a = Conjunct::new();
+        a.add_stride(LinExpr::var(iv(0)), 2); // uses Exist(0)
+        let mut b = Conjunct::new();
+        b.add_stride(LinExpr::var(iv(0)), 3); // also Exist(0)
+        a.merge(&b);
+        assert_eq!(a.n_exist(), 2);
+        // x must be divisible by 6 now.
+        assert!(a.contains(|v| if v == iv(0) { Some(6) } else { None }));
+        assert!(!a.contains(|v| if v == iv(0) { Some(4) } else { None }));
+        assert!(!a.contains(|v| if v == iv(0) { Some(3) } else { None }));
+    }
+
+    #[test]
+    fn equality_with_large_coeff_eliminated_exactly() {
+        // 7x - 3y = 1, 1 <= x <= 10, 1 <= y <= 20: solutions (x,y) = (1,2), (4,9), (7,16)
+        let mut c = Conjunct::new();
+        c.add_eq(e(&[(iv(0), 7), (iv(1), -3)], -1));
+        c.add_bounds(iv(0), 1, 10);
+        c.add_bounds(iv(1), 1, 20);
+        assert!(c.is_satisfiable());
+        let mut sols = Vec::new();
+        for x in 1..=10i64 {
+            for y in 1..=20i64 {
+                if c.contains(|v| match v {
+                    Var::In(0) => Some(x),
+                    Var::In(1) => Some(y),
+                    _ => None,
+                }) {
+                    sols.push((x, y));
+                }
+            }
+        }
+        assert_eq!(sols, vec![(1, 2), (4, 9), (7, 16)]);
+    }
+}

@@ -1,0 +1,83 @@
+//! # dhpf-omega — symbolic integer tuple sets and relations
+//!
+//! A from-scratch reimplementation of the integer-set substrate used by the
+//! Rice dHPF compiler (Adve & Mellor-Crummey, PLDI 1998): sets and relations
+//! of integer tuples described by Presburger formulas, with the operation
+//! vocabulary the paper's equational framework relies on — union,
+//! intersection, difference, composition, domain, range, restriction,
+//! projection, and gist — all *exact* over the integers.
+//!
+//! The algorithms follow Pugh's Omega test: equality elimination with
+//! symmetric-modulus coefficient reduction, and integer Fourier–Motzkin
+//! elimination with dark shadow and splinter sets so that projections of
+//! non-unit-coefficient systems (e.g. block data distributions `B·p ≤ a`)
+//! remain exact.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dhpf_omega::{Relation, Set};
+//!
+//! // The layout of a BLOCK(25)-distributed array on 4 processors.
+//! let layout: Relation = "{[p] -> [a] : 25p <= a <= 25p + 24 && 0 <= p <= 3}".parse()?;
+//! // The data referenced by iterations of a loop.
+//! let refmap: Relation = "{[i] -> [a] : a = i + 1 && 1 <= i <= N}".parse()?;
+//!
+//! // Which processor executes which iteration under owner-computes?
+//! let cpmap = refmap.then(&layout.inverse());
+//! assert!(cpmap.contains_pair(&[30], &[1], &[("N", 90)]));
+//!
+//! // Sets support exact difference, emptiness, and membership.
+//! let s: Set = "{[i] : 1 <= i <= N}".parse()?;
+//! let t: Set = "{[i] : 5 <= i}".parse()?;
+//! let d = s.subtract(&t);
+//! assert!(d.contains(&[4], &[("N", 10)]));
+//! assert!(!d.contains(&[5], &[("N", 10)]));
+//! # Ok::<(), dhpf_omega::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod conjunct;
+pub mod display;
+pub mod linexpr;
+pub mod num;
+pub mod ops;
+pub mod parse;
+pub mod relation;
+pub mod set;
+pub mod var;
+
+pub use conjunct::{Conjunct, Normalized};
+pub use linexpr::LinExpr;
+pub use ops::{negate_conjunct, to_stride_form};
+pub use parse::ParseError;
+pub use relation::Relation;
+pub use set::Set;
+pub use var::{Var, VarNames};
+
+use std::fmt;
+
+/// Errors reported by set operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OmegaError {
+    /// A conjunct's existential system could not be negated exactly
+    /// (needed by difference/subset/equality tests).
+    InexactNegation,
+    /// Enumeration was requested for a set with no constant bounds.
+    Unbounded,
+}
+
+impl fmt::Display for OmegaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmegaError::InexactNegation => {
+                write!(f, "existential system cannot be negated exactly")
+            }
+            OmegaError::Unbounded => write!(f, "set has no constant bounds to enumerate"),
+        }
+    }
+}
+
+impl std::error::Error for OmegaError {}

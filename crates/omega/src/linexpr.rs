@@ -1,0 +1,362 @@
+//! Affine (linear + constant) integer expressions over [`Var`]s.
+
+use crate::num::{add, gcd, mul};
+use crate::var::Var;
+use std::fmt;
+
+/// An affine expression `c0 + c1*v1 + c2*v2 + ...` with `i64` coefficients.
+///
+/// Terms are kept sorted by [`Var`] with no zero coefficients, so structural
+/// equality coincides with mathematical equality of the expressions.
+///
+/// # Examples
+///
+/// ```
+/// use dhpf_omega::{LinExpr, Var};
+/// let e = LinExpr::var(Var::In(0)) + LinExpr::constant(3);
+/// assert_eq!(e.coeff(Var::In(0)), 1);
+/// assert_eq!(e.constant_term(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct LinExpr {
+    terms: Vec<(Var, i64)>,
+    constant: i64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Self {
+        LinExpr {
+            terms: Vec::new(),
+            constant: c,
+        }
+    }
+
+    /// The expression `1 * v`.
+    pub fn var(v: Var) -> Self {
+        LinExpr::term(v, 1)
+    }
+
+    /// The expression `c * v`.
+    pub fn term(v: Var, c: i64) -> Self {
+        if c == 0 {
+            LinExpr::zero()
+        } else {
+            LinExpr {
+                terms: vec![(v, c)],
+                constant: 0,
+            }
+        }
+    }
+
+    /// Builds an expression from `(var, coeff)` pairs and a constant.
+    ///
+    /// Pairs may be unsorted and may repeat variables; they are merged.
+    pub fn from_terms<I: IntoIterator<Item = (Var, i64)>>(terms: I, constant: i64) -> Self {
+        let mut e = LinExpr::constant(constant);
+        for (v, c) in terms {
+            e.add_term(v, c);
+        }
+        e
+    }
+
+    /// The coefficient of `v` (0 if absent).
+    pub fn coeff(&self, v: Var) -> i64 {
+        match self.terms.binary_search_by_key(&v, |&(w, _)| w) {
+            Ok(i) => self.terms[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// Iterates over the `(var, coeff)` terms in canonical order.
+    pub fn terms(&self) -> impl Iterator<Item = (Var, i64)> + '_ {
+        self.terms.iter().copied()
+    }
+
+    /// Returns `true` if the expression has no variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns `true` if the expression is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty() && self.constant == 0
+    }
+
+    /// Adds `c * v` in place.
+    pub fn add_term(&mut self, v: Var, c: i64) {
+        if c == 0 {
+            return;
+        }
+        match self.terms.binary_search_by_key(&v, |&(w, _)| w) {
+            Ok(i) => {
+                let nc = add(self.terms[i].1, c);
+                if nc == 0 {
+                    self.terms.remove(i);
+                } else {
+                    self.terms[i].1 = nc;
+                }
+            }
+            Err(i) => self.terms.insert(i, (v, c)),
+        }
+    }
+
+    /// Adds a constant in place.
+    pub fn add_constant(&mut self, c: i64) {
+        self.constant = add(self.constant, c);
+    }
+
+    /// Adds `k * other` in place.
+    pub fn add_scaled(&mut self, other: &LinExpr, k: i64) {
+        if k == 0 {
+            return;
+        }
+        for &(v, c) in &other.terms {
+            self.add_term(v, mul(c, k));
+        }
+        self.constant = add(self.constant, mul(other.constant, k));
+    }
+
+    /// Returns `k * self`.
+    pub fn scaled(&self, k: i64) -> LinExpr {
+        let mut e = LinExpr::zero();
+        e.add_scaled(self, k);
+        e
+    }
+
+    /// Returns `-self`.
+    pub fn negated(&self) -> LinExpr {
+        self.scaled(-1)
+    }
+
+    /// Replaces every occurrence of `v` with the expression `repl`.
+    ///
+    /// `repl` must not mention `v` (checked by a `debug_assert`).
+    pub fn substitute(&mut self, v: Var, repl: &LinExpr) {
+        debug_assert_eq!(repl.coeff(v), 0, "substitution expression mentions target");
+        let c = self.coeff(v);
+        if c == 0 {
+            return;
+        }
+        self.remove_term(v);
+        self.add_scaled(repl, c);
+    }
+
+    /// Removes the term for `v` entirely, returning its former coefficient.
+    pub fn remove_term(&mut self, v: Var) -> i64 {
+        match self.terms.binary_search_by_key(&v, |&(w, _)| w) {
+            Ok(i) => self.terms.remove(i).1,
+            Err(_) => 0,
+        }
+    }
+
+    /// GCD of the variable coefficients (0 if there are none).
+    pub fn coeff_gcd(&self) -> i64 {
+        self.terms.iter().fold(0, |g, &(_, c)| gcd(g, c))
+    }
+
+    /// Applies `f` to every variable, renaming terms.
+    ///
+    /// `f` must be injective on the variables present (merging is still
+    /// handled correctly if it is not, by summing coefficients).
+    pub fn rename<F: Fn(Var) -> Var>(&self, f: F) -> LinExpr {
+        let mut e = LinExpr::constant(self.constant);
+        for &(v, c) in &self.terms {
+            e.add_term(f(v), c);
+        }
+        e
+    }
+
+    /// Evaluates the expression under a full assignment.
+    ///
+    /// Returns `None` if some variable is unbound.
+    pub fn eval<F: Fn(Var) -> Option<i64>>(&self, lookup: F) -> Option<i64> {
+        let mut acc = self.constant;
+        for &(v, c) in &self.terms {
+            acc = add(acc, mul(c, lookup(v)?));
+        }
+        Some(acc)
+    }
+
+    /// Partially evaluates: substitutes the bound variables, keeps the rest.
+    pub fn partial_eval<F: Fn(Var) -> Option<i64>>(&self, lookup: F) -> LinExpr {
+        let mut e = LinExpr::constant(self.constant);
+        for &(v, c) in &self.terms {
+            match lookup(v) {
+                Some(val) => e.add_constant(mul(c, val)),
+                None => e.add_term(v, c),
+            }
+        }
+        e
+    }
+
+    /// Variables mentioned by this expression, in canonical order.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.iter().map(|&(v, _)| v)
+    }
+
+    /// The highest `Exist` index mentioned, if any.
+    pub fn max_exist(&self) -> Option<u32> {
+        self.terms
+            .iter()
+            .filter_map(|&(v, _)| match v {
+                Var::Exist(i) => Some(i),
+                _ => None,
+            })
+            .max()
+    }
+}
+
+impl std::ops::Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self.add_scaled(&rhs, 1);
+        self
+    }
+}
+
+impl std::ops::Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: LinExpr) -> LinExpr {
+        self.add_scaled(&rhs, -1);
+        self
+    }
+}
+
+impl std::ops::Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self.negated()
+    }
+}
+
+impl From<i64> for LinExpr {
+    fn from(c: i64) -> Self {
+        LinExpr::constant(c)
+    }
+}
+
+impl From<Var> for LinExpr {
+    fn from(v: Var) -> Self {
+        LinExpr::var(v)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(v, c) in &self.terms {
+            if first {
+                if c == 1 {
+                    write!(f, "{v}")?;
+                } else if c == -1 {
+                    write!(f, "-{v}")?;
+                } else {
+                    write!(f, "{c}{v}")?;
+                }
+                first = false;
+            } else if c > 0 {
+                if c == 1 {
+                    write!(f, " + {v}")?;
+                } else {
+                    write!(f, " + {c}{v}")?;
+                }
+            } else if c == -1 {
+                write!(f, " - {v}")?;
+            } else {
+                write!(f, " - {}{v}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(n: u32) -> Var {
+        Var::In(n)
+    }
+
+    #[test]
+    fn build_and_merge_terms() {
+        let e = LinExpr::from_terms([(i(0), 2), (i(1), 3), (i(0), -2)], 5);
+        assert_eq!(e.coeff(i(0)), 0);
+        assert_eq!(e.coeff(i(1)), 3);
+        assert_eq!(e.constant_term(), 5);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = LinExpr::from_terms([(i(0), 1)], 2);
+        let b = LinExpr::from_terms([(i(0), 3), (i(1), 1)], -1);
+        let s = a.clone() + b.clone();
+        assert_eq!(s.coeff(i(0)), 4);
+        assert_eq!(s.coeff(i(1)), 1);
+        assert_eq!(s.constant_term(), 1);
+        let d = a - b;
+        assert_eq!(d.coeff(i(0)), -2);
+        assert_eq!(d.coeff(i(1)), -1);
+        assert_eq!(d.constant_term(), 3);
+    }
+
+    #[test]
+    fn substitute_replaces_var() {
+        // e = 2*i0 + i1; i0 := i1 + 1  =>  3*i1 + 2
+        let mut e = LinExpr::from_terms([(i(0), 2), (i(1), 1)], 0);
+        let repl = LinExpr::from_terms([(i(1), 1)], 1);
+        e.substitute(i(0), &repl);
+        assert_eq!(e.coeff(i(0)), 0);
+        assert_eq!(e.coeff(i(1)), 3);
+        assert_eq!(e.constant_term(), 2);
+    }
+
+    #[test]
+    fn eval_and_partial_eval() {
+        let e = LinExpr::from_terms([(i(0), 2), (i(1), -1)], 7);
+        let v = e
+            .eval(|v| match v {
+                Var::In(0) => Some(3),
+                Var::In(1) => Some(4),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(v, 2 * 3 - 4 + 7);
+        let p = e.partial_eval(|v| if v == i(0) { Some(3) } else { None });
+        assert_eq!(p.constant_term(), 13);
+        assert_eq!(p.coeff(i(1)), -1);
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = LinExpr::from_terms([(i(0), 1), (i(1), -2)], -3);
+        assert_eq!(e.to_string(), "i0 - 2i1 - 3");
+        assert_eq!(LinExpr::zero().to_string(), "0");
+        assert_eq!(LinExpr::constant(-4).to_string(), "-4");
+    }
+
+    #[test]
+    fn coeff_gcd() {
+        let e = LinExpr::from_terms([(i(0), 4), (i(1), -6)], 3);
+        assert_eq!(e.coeff_gcd(), 2);
+        assert_eq!(LinExpr::constant(5).coeff_gcd(), 0);
+    }
+}

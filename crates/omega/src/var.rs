@@ -1,0 +1,126 @@
+//! Variables of a constraint system.
+//!
+//! A [`Relation`](crate::Relation) constrains four kinds of variables:
+//! symbolic parameters (global symbolic constants such as `N` or the
+//! representative processor id `m`), input tuple variables, output tuple
+//! variables, and per-conjunct existentially quantified variables.
+
+use std::fmt;
+
+/// A variable reference inside a constraint.
+///
+/// The ordering (`Param < In < Out < Exist`, then by index) is the canonical
+/// term order used by [`LinExpr`](crate::LinExpr).
+///
+/// # Examples
+///
+/// ```
+/// use dhpf_omega::Var;
+/// assert!(Var::Param(0) < Var::In(0));
+/// assert!(Var::In(1) < Var::Out(0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Var {
+    /// A named symbolic constant, indexed into the relation's parameter list.
+    Param(u32),
+    /// An input tuple variable (`[i, j] -> ...`), 0-based position.
+    In(u32),
+    /// An output tuple variable (`... -> [k]`), 0-based position.
+    Out(u32),
+    /// An existentially quantified variable local to one conjunct.
+    Exist(u32),
+}
+
+impl Var {
+    /// Returns `true` if this is a tuple variable (input or output).
+    pub fn is_tuple(self) -> bool {
+        matches!(self, Var::In(_) | Var::Out(_))
+    }
+
+    /// Returns `true` if this is an existential variable.
+    pub fn is_exist(self) -> bool {
+        matches!(self, Var::Exist(_))
+    }
+
+    /// Returns `true` if this is a symbolic parameter.
+    pub fn is_param(self) -> bool {
+        matches!(self, Var::Param(_))
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Var::Param(i) => write!(f, "p{i}"),
+            Var::In(i) => write!(f, "i{i}"),
+            Var::Out(i) => write!(f, "o{i}"),
+            Var::Exist(i) => write!(f, "e{i}"),
+        }
+    }
+}
+
+/// Names used when pretty-printing the variables of a relation.
+///
+/// Produced by [`Relation`](crate::Relation) display code; user-facing names
+/// come from the parser or from `set_in_names`-style builders.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VarNames {
+    /// Names of input tuple variables.
+    pub input: Vec<String>,
+    /// Names of output tuple variables.
+    pub output: Vec<String>,
+}
+
+impl VarNames {
+    /// Display name for `v`, consulting `params` for parameter names.
+    pub fn name_of(&self, v: Var, params: &[String]) -> String {
+        match v {
+            Var::Param(i) => params
+                .get(i as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("p{i}")),
+            Var::In(i) => self
+                .input
+                .get(i as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("i{i}")),
+            Var::Out(i) => self
+                .output
+                .get(i as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("o{i}")),
+            Var::Exist(i) => format!("alpha{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order() {
+        let mut vars = vec![Var::Exist(0), Var::Out(1), Var::In(2), Var::Param(3)];
+        vars.sort();
+        assert_eq!(
+            vars,
+            vec![Var::Param(3), Var::In(2), Var::Out(1), Var::Exist(0)]
+        );
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(Var::In(0).is_tuple());
+        assert!(Var::Out(0).is_tuple());
+        assert!(!Var::Param(0).is_tuple());
+        assert!(Var::Exist(0).is_exist());
+        assert!(Var::Param(0).is_param());
+    }
+
+    #[test]
+    fn names_fall_back_to_positional() {
+        let names = VarNames::default();
+        assert_eq!(names.name_of(Var::In(3), &[]), "i3");
+        assert_eq!(names.name_of(Var::Param(0), &["N".into()]), "N");
+    }
+}

@@ -1,0 +1,229 @@
+//! Property-based tests: every set operation is checked against a
+//! brute-force membership oracle on randomly generated small sets.
+
+use dhpf_omega::{Conjunct, LinExpr, Relation, Set, Var};
+use proptest::prelude::*;
+
+const LO: i64 = -6;
+const HI: i64 = 10;
+
+/// A randomly generated constraint for a conjunct of the given arity.
+#[derive(Clone, Debug)]
+enum Cons {
+    /// `lo <= dim <= hi`
+    Bounds(usize, i64, i64),
+    /// `c0*d0 + c1*d1 + k >= 0`
+    Geq(Vec<i64>, i64),
+    /// `dim ≡ r (mod m)`
+    Stride(usize, i64, i64),
+    /// `c0*d0 + c1*d1 + k = 0`
+    Eq(Vec<i64>, i64),
+}
+
+fn cons_strategy(arity: usize) -> impl Strategy<Value = Cons> {
+    let dims = 0..arity;
+    prop_oneof![
+        (dims.clone(), -3..6i64, -3..6i64).prop_map(|(d, a, b)| Cons::Bounds(d, a.min(b), a.max(b))),
+        (
+            proptest::collection::vec(-2..=2i64, arity),
+            -5..8i64
+        )
+            .prop_map(|(cs, k)| Cons::Geq(cs, k)),
+        (dims.clone(), 0..4i64, 2..5i64).prop_map(|(d, r, m)| Cons::Stride(d, r % m, m)),
+        (
+            proptest::collection::vec(-2..=2i64, arity),
+            -4..5i64
+        )
+            .prop_map(|(cs, k)| Cons::Eq(cs, k)),
+    ]
+}
+
+fn build_conjunct(arity: usize, cons: &[Cons]) -> Conjunct {
+    let mut c = Conjunct::new();
+    // Always bound the box so enumeration oracles stay finite.
+    for d in 0..arity {
+        c.add_bounds(Var::In(d as u32), LO, HI);
+    }
+    for k in cons {
+        match k {
+            Cons::Bounds(d, lo, hi) => c.add_bounds(Var::In(*d as u32), *lo, *hi),
+            Cons::Geq(cs, k) => {
+                let e = LinExpr::from_terms(
+                    cs.iter()
+                        .enumerate()
+                        .map(|(d, &co)| (Var::In(d as u32), co)),
+                    *k,
+                );
+                c.add_geq(e);
+            }
+            Cons::Stride(d, r, m) => {
+                let mut e = LinExpr::var(Var::In(*d as u32));
+                e.add_constant(-r);
+                c.add_stride(e, *m);
+            }
+            Cons::Eq(cs, k) => {
+                let e = LinExpr::from_terms(
+                    cs.iter()
+                        .enumerate()
+                        .map(|(d, &co)| (Var::In(d as u32), co)),
+                    *k,
+                );
+                c.add_eq(e);
+            }
+        }
+    }
+    c
+}
+
+fn set_strategy(arity: usize) -> impl Strategy<Value = Set> {
+    proptest::collection::vec(proptest::collection::vec(cons_strategy(arity), 0..3), 1..3)
+        .prop_map(move |conjs| {
+            let mut r = Set::empty(arity as u32).into_relation();
+            for cons in &conjs {
+                r.add_conjunct(build_conjunct(arity, cons));
+            }
+            Set::from_relation(r)
+        })
+}
+
+fn points(arity: usize) -> Vec<Vec<i64>> {
+    let mut out = Vec::new();
+    if arity == 1 {
+        for x in LO - 2..=HI + 2 {
+            out.push(vec![x]);
+        }
+    } else {
+        for x in LO - 1..=HI + 1 {
+            for y in LO - 1..=HI + 1 {
+                out.push(vec![x, y]);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn union_matches_oracle(a in set_strategy(2), b in set_strategy(2)) {
+        let u = a.union(&b);
+        for p in points(2) {
+            prop_assert_eq!(
+                u.contains(&p, &[]),
+                a.contains(&p, &[]) || b.contains(&p, &[]),
+                "point {:?}", p
+            );
+        }
+    }
+
+    #[test]
+    fn intersection_matches_oracle(a in set_strategy(2), b in set_strategy(2)) {
+        let n = a.intersection(&b);
+        for p in points(2) {
+            prop_assert_eq!(
+                n.contains(&p, &[]),
+                a.contains(&p, &[]) && b.contains(&p, &[]),
+                "point {:?}", p
+            );
+        }
+    }
+
+    #[test]
+    fn subtract_matches_oracle(a in set_strategy(1), b in set_strategy(1)) {
+        let d = a.subtract(&b);
+        for p in points(1) {
+            prop_assert_eq!(
+                d.contains(&p, &[]),
+                a.contains(&p, &[]) && !b.contains(&p, &[]),
+                "point {:?}", p
+            );
+        }
+    }
+
+    #[test]
+    fn subtract_2d_matches_oracle(a in set_strategy(2), b in set_strategy(2)) {
+        let d = a.subtract(&b);
+        for p in points(2) {
+            prop_assert_eq!(
+                d.contains(&p, &[]),
+                a.contains(&p, &[]) && !b.contains(&p, &[]),
+                "point {:?}", p
+            );
+        }
+    }
+
+    #[test]
+    fn emptiness_matches_oracle(a in set_strategy(2)) {
+        let any = points(2).iter().any(|p| a.contains(p, &[]));
+        prop_assert_eq!(a.is_empty(), !any);
+    }
+
+    #[test]
+    fn subset_matches_oracle(a in set_strategy(1), b in set_strategy(1)) {
+        let want = points(1)
+            .iter()
+            .all(|p| !a.contains(p, &[]) || b.contains(p, &[]));
+        prop_assert_eq!(a.is_subset_of(&b), want);
+    }
+
+    #[test]
+    fn projection_matches_oracle(a in set_strategy(2)) {
+        let pj = a.project_onto(&[0]);
+        for x in LO - 1..=HI + 1 {
+            let want = (LO - 1..=HI + 1).any(|y| a.contains(&[x, y], &[]));
+            prop_assert_eq!(pj.contains(&[x], &[]), want, "x = {}", x);
+        }
+    }
+
+    #[test]
+    fn enumerate_matches_contains(a in set_strategy(2)) {
+        let listed = a.enumerate(&[]).unwrap();
+        for p in points(2) {
+            let want = a.contains(&p, &[]);
+            prop_assert_eq!(listed.contains(&p), want, "point {:?}", p);
+        }
+    }
+
+    #[test]
+    fn convexity_matches_oracle(a in set_strategy(1)) {
+        let members: Vec<i64> = (LO..=HI).filter(|&x| a.contains(&[x], &[])).collect();
+        let mut has_hole = false;
+        if members.len() >= 2 {
+            let lo = members[0];
+            let hi = *members.last().unwrap();
+            has_hole = (lo..=hi).any(|x| !members.contains(&x));
+        }
+        prop_assert_eq!(a.is_convex_1d(), !has_hole, "members {:?}", members);
+    }
+
+    #[test]
+    fn singleton_matches_oracle(a in set_strategy(1)) {
+        let count = (LO..=HI).filter(|&x| a.contains(&[x], &[])).count();
+        prop_assert_eq!(a.is_singleton_1d(), count <= 1);
+    }
+
+    #[test]
+    fn apply_matches_oracle(a in set_strategy(1)) {
+        // R = {[i] -> [j] : j = 2i - 1}
+        let r: Relation = "{[i] -> [j] : j = 2i - 1}".parse().unwrap();
+        let img = r.apply(&a);
+        for y in 2 * LO - 3..=2 * HI + 1 {
+            let want = (LO..=HI).any(|x| a.contains(&[x], &[]) && y == 2 * x - 1);
+            prop_assert_eq!(img.contains(&[y], &[]), want, "y = {}", y);
+        }
+    }
+
+    #[test]
+    fn compose_matches_oracle(a in set_strategy(1)) {
+        let f: Relation = "{[i] -> [j] : j = i + 3}".parse().unwrap();
+        let g: Relation = "{[i] -> [j] : j = 2i}".parse().unwrap();
+        let fg = f.then(&g); // j = 2(i + 3)
+        for p in points(1) {
+            let x = p[0];
+            prop_assert!(fg.contains_pair(&[x], &[2 * (x + 3)], &[]));
+            prop_assert!(!fg.contains_pair(&[x], &[2 * (x + 3) + 1], &[]));
+        }
+        let _ = a; // arity anchor
+    }
+}

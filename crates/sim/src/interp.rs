@@ -1,0 +1,422 @@
+//! Expression evaluation and the serial reference interpreter.
+//!
+//! The serial interpreter executes the original (unpartitioned) program
+//! directly from its AST; the SPMD executor's results are validated against
+//! it in the integration tests.
+
+use crate::store::{Array, Store};
+use dhpf_hpf::{Analysis, BinOp, Expr, ScalarKind, Stmt, StmtKind, TypeName, UnOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Runtime errors of the interpreters.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An unbound scalar or missing runtime input.
+    Unbound(String),
+    /// An unsupported construct or intrinsic reached execution.
+    Unsupported(String),
+    /// Communication mismatch between ranks (an internal invariant).
+    CommMismatch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Unbound(n) => write!(f, "unbound variable '{n}'"),
+            SimError::Unsupported(m) => write!(f, "unsupported at runtime: {m}"),
+            SimError::CommMismatch(m) => write!(f, "communication mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Evaluates an expression to `f64` against a store, with an optional
+/// overlay of integer loop-variable bindings (checked first).
+pub fn eval_f64_in(e: &Expr, store: &Store, env: Option<&HashMap<String, i64>>) -> Result<f64, SimError> {
+    Ok(match e {
+        Expr::Int(v) => *v as f64,
+        Expr::Real(v) => *v,
+        Expr::Var(name) => {
+            if let Some(v) = env.and_then(|e| e.get(name)) {
+                *v as f64
+            } else if let Some(v) = store.floats.get(name) {
+                *v
+            } else if let Some(v) = store.ints.get(name) {
+                *v as f64
+            } else {
+                return Err(SimError::Unbound(name.clone()));
+            }
+        }
+        Expr::Ref(name, args) => {
+            if let Some(arr) = store.arrays.get(name) {
+                let idx = args
+                    .iter()
+                    .map(|a| eval_int_in(a, store, env))
+                    .collect::<Result<Vec<_>, _>>()?;
+                arr.get(&idx)
+            } else {
+                eval_intrinsic(name, args, store, env)?
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let (x, y) = (eval_f64_in(a, store, env)?, eval_f64_in(b, store, env)?);
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Pow => x.powf(y),
+                BinOp::Lt => bool_val(x < y),
+                BinOp::Le => bool_val(x <= y),
+                BinOp::Gt => bool_val(x > y),
+                BinOp::Ge => bool_val(x >= y),
+                BinOp::Eq => bool_val(x == y),
+                BinOp::Ne => bool_val(x != y),
+                BinOp::And => bool_val(x != 0.0 && y != 0.0),
+                BinOp::Or => bool_val(x != 0.0 || y != 0.0),
+            }
+        }
+        Expr::Un(UnOp::Neg, a) => -eval_f64_in(a, store, env)?,
+        Expr::Un(UnOp::Not, a) => bool_val(eval_f64_in(a, store, env)? == 0.0),
+    })
+}
+
+/// Evaluates an expression to `f64` against a store.
+pub fn eval_f64(e: &Expr, store: &Store) -> Result<f64, SimError> {
+    eval_f64_in(e, store, None)
+}
+
+fn bool_val(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Evaluates an expression to `i64`, with an optional integer overlay.
+pub fn eval_int_in(e: &Expr, store: &Store, env: Option<&HashMap<String, i64>>) -> Result<i64, SimError> {
+    Ok(match e {
+        Expr::Int(v) => *v,
+        Expr::Real(v) => *v as i64,
+        Expr::Var(name) => {
+            if let Some(v) = env.and_then(|e| e.get(name)) {
+                *v
+            } else if let Some(v) = store.ints.get(name) {
+                *v
+            } else if let Some(v) = store.floats.get(name) {
+                *v as i64
+            } else {
+                return Err(SimError::Unbound(name.clone()));
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let (x, y) = (eval_int_in(a, store, env)?, eval_int_in(b, store, env)?);
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => {
+                    if y == 0 {
+                        return Err(SimError::Unsupported("division by zero".into()));
+                    }
+                    x / y
+                }
+                _ => return Ok(eval_f64_in(e, store, env)? as i64),
+            }
+        }
+        Expr::Un(UnOp::Neg, a) => -eval_int_in(a, store, env)?,
+        _ => eval_f64_in(e, store, env)? as i64,
+    })
+}
+
+/// Evaluates an expression to `i64` (used for subscripts and loop bounds).
+pub fn eval_int(e: &Expr, store: &Store) -> Result<i64, SimError> {
+    eval_int_in(e, store, None)
+}
+
+/// Evaluates a condition (nonzero = true).
+pub fn eval_bool(e: &Expr, store: &Store) -> Result<bool, SimError> {
+    Ok(eval_f64(e, store)? != 0.0)
+}
+
+/// Evaluates a condition with an integer overlay (nonzero = true).
+pub fn eval_bool_in(e: &Expr, store: &Store, env: Option<&HashMap<String, i64>>) -> Result<bool, SimError> {
+    Ok(eval_f64_in(e, store, env)? != 0.0)
+}
+
+fn eval_intrinsic(
+    name: &str,
+    args: &[Expr],
+    store: &Store,
+    env: Option<&HashMap<String, i64>>,
+) -> Result<f64, SimError> {
+    let vals: Vec<f64> = args
+        .iter()
+        .map(|a| eval_f64_in(a, store, env))
+        .collect::<Result<_, _>>()?;
+    Ok(match (name, vals.as_slice()) {
+        ("abs", [x]) => x.abs(),
+        ("sqrt", [x]) => x.sqrt(),
+        ("exp", [x]) => x.exp(),
+        ("log", [x]) => x.ln(),
+        ("max", xs) if !xs.is_empty() => xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        ("min", xs) if !xs.is_empty() => xs.iter().cloned().fold(f64::INFINITY, f64::min),
+        ("mod", [x, y]) => x - (x / y).floor() * y,
+        ("sign", [x, y]) => x.abs() * y.signum(),
+        ("float" | "dble" | "real", [x]) => *x,
+        ("int", [x]) => x.trunc(),
+        ("number_of_processors", []) => *store
+            .ints
+            .get("number_of_processors")
+            .ok_or_else(|| SimError::Unbound("number_of_processors".into()))?
+            as f64,
+        _ => {
+            return Err(SimError::Unsupported(format!(
+                "intrinsic '{name}' with {} arguments",
+                vals.len()
+            )))
+        }
+    })
+}
+
+/// Allocates the unit's declared arrays and scalars into a store.
+pub fn allocate(analysis: &Analysis, inputs: &HashMap<String, i64>) -> Result<Store, SimError> {
+    let mut store = Store::new();
+    for (k, v) in inputs {
+        store.ints.insert(k.clone(), *v);
+    }
+    for (name, s) in &analysis.scalars {
+        match s.kind {
+            ScalarKind::Constant(v) => {
+                store.ints.insert(name.clone(), v);
+            }
+            // Runtime inputs must come from `inputs`; leaving them unbound
+            // makes a missing input a loud error at its first use.
+            ScalarKind::Symbolic => {}
+            ScalarKind::Local => match s.ty {
+                TypeName::Integer => {
+                    store.ints.entry(name.clone()).or_insert(0);
+                }
+                TypeName::Real => {
+                    store.floats.entry(name.clone()).or_insert(0.0);
+                }
+            },
+        }
+    }
+    for (name, info) in &analysis.arrays {
+        let dims = info
+            .dims
+            .iter()
+            .map(|(lo, hi)| -> Result<(i64, i64), SimError> {
+                Ok((eval_affine(lo, &store)?, eval_affine(hi, &store)?))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        store.arrays.insert(name.clone(), Array::new(dims));
+    }
+    Ok(store)
+}
+
+/// Evaluates a frontend affine expression against a store's integers.
+pub fn eval_affine(a: &dhpf_hpf::Affine, store: &Store) -> Result<i64, SimError> {
+    let mut acc = a.constant;
+    for (name, c) in &a.terms {
+        let v = store
+            .ints
+            .get(name)
+            .ok_or_else(|| SimError::Unbound(name.clone()))?;
+        acc += c * v;
+    }
+    Ok(acc)
+}
+
+/// Runs the original program serially (the validation oracle), returning
+/// the final store and the executed floating-point operation count.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for unbound inputs or unsupported constructs.
+pub fn run_serial(
+    analysis: &Analysis,
+    inputs: &HashMap<String, i64>,
+) -> Result<(Store, u64), SimError> {
+    let mut store = allocate(analysis, inputs)?;
+    let mut flops = 0u64;
+    exec_block(&analysis.unit.body, &mut store, &mut flops)?;
+    Ok((store, flops))
+}
+
+fn exec_block(body: &[Stmt], store: &mut Store, flops: &mut u64) -> Result<(), SimError> {
+    for s in body {
+        exec_stmt(s, store, flops)?;
+    }
+    Ok(())
+}
+
+/// Executes one statement against a store (used by both interpreters for
+/// replicated statements).
+pub fn exec_stmt(s: &Stmt, store: &mut Store, flops: &mut u64) -> Result<(), SimError> {
+    match &s.kind {
+        StmtKind::Assign {
+            name, subs, rhs, ..
+        } => {
+            let v = eval_f64(rhs, store)?;
+            *flops += cost_of(rhs);
+            if store.arrays.contains_key(name) {
+                let idx = subs
+                    .iter()
+                    .map(|e| eval_int(e, store))
+                    .collect::<Result<Vec<_>, _>>()?;
+                store
+                    .arrays
+                    .get_mut(name)
+                    .expect("checked above")
+                    .set(&idx, v);
+            } else if store.ints.contains_key(name)
+                || (!store.floats.contains_key(name) && Store::implicitly_integer(name))
+            {
+                store.ints.insert(name.clone(), v as i64);
+            } else {
+                store.floats.insert(name.clone(), v);
+            }
+        }
+        StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
+            let lo = eval_int(lo, store)?;
+            let hi = eval_int(hi, store)?;
+            let step = match step {
+                Some(e) => eval_int(e, store)?,
+                None => 1,
+            };
+            let mut x = lo;
+            while (step > 0 && x <= hi) || (step < 0 && x >= hi) {
+                store.ints.insert(var.clone(), x);
+                exec_block(body, store, flops)?;
+                x += step;
+            }
+        }
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            if eval_bool(cond, store)? {
+                exec_block(then_body, store, flops)?;
+            } else {
+                exec_block(else_body, store, flops)?;
+            }
+        }
+        StmtKind::Read { vars } => {
+            for v in vars {
+                if !store.ints.contains_key(v) && !store.floats.contains_key(v) {
+                    return Err(SimError::Unbound(format!("runtime input '{v}'")));
+                }
+            }
+        }
+        StmtKind::Print { .. } => {}
+        StmtKind::Call { name, .. } => {
+            return Err(SimError::Unsupported(format!("call '{name}'")));
+        }
+    }
+    Ok(())
+}
+
+/// Floating-point operation count of an expression (the cost model).
+pub fn cost_of(e: &Expr) -> u64 {
+    match e {
+        Expr::Bin(_, a, b) => 1 + cost_of(a) + cost_of(b),
+        Expr::Un(_, a) => cost_of(a),
+        Expr::Ref(_, args) => args.iter().map(cost_of).sum::<u64>() + 1,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhpf_hpf::{analyze, parse};
+
+    #[test]
+    fn serial_jacobi_smoke() {
+        let src = "
+program j
+real a(8,8), b(8,8)
+do i = 1, 8
+  do j = 1, 8
+    b(i,j) = i + 10*j
+  enddo
+enddo
+do i = 2, 7
+  do j = 2, 7
+    a(i,j) = 0.25 * (b(i-1,j) + b(i+1,j) + b(i,j-1) + b(i,j+1))
+  enddo
+enddo
+end
+";
+        let prog = parse(src).unwrap();
+        let analysis = analyze(&prog.units[0]).unwrap();
+        let (store, flops) = run_serial(&analysis, &HashMap::new()).unwrap();
+        let a = &store.arrays["a"];
+        let b = |i: i64, j: i64| (i + 10 * j) as f64;
+        let want = 0.25 * (b(2, 4) + b(4, 4) + b(3, 3) + b(3, 5));
+        assert!((a.get(&[3, 4]) - want).abs() < 1e-12);
+        assert!(flops > 0);
+    }
+
+    #[test]
+    fn reductions_and_ifs() {
+        let src = "
+program r
+real a(10)
+real s, mx
+do i = 1, 10
+  a(i) = i * 1.0
+enddo
+s = 0.0
+mx = -1.0e30
+do i = 1, 10
+  s = s + a(i)
+  mx = max(mx, a(i))
+enddo
+if (s > 50.0) then
+  s = s + 1000.0
+endif
+end
+";
+        let prog = parse(src).unwrap();
+        let analysis = analyze(&prog.units[0]).unwrap();
+        let (store, _) = run_serial(&analysis, &HashMap::new()).unwrap();
+        assert_eq!(store.floats["s"], 1055.0);
+        assert_eq!(store.floats["mx"], 10.0);
+    }
+
+    #[test]
+    fn runtime_inputs() {
+        let src = "
+program r
+integer n
+real a(100)
+read *, n
+do i = 1, n
+  a(i) = 2.0
+enddo
+end
+";
+        let prog = parse(src).unwrap();
+        let analysis = analyze(&prog.units[0]).unwrap();
+        let inputs: HashMap<String, i64> = [("n".to_string(), 7i64)].into_iter().collect();
+        let (store, _) = run_serial(&analysis, &inputs).unwrap();
+        assert_eq!(store.arrays["a"].get(&[7]), 2.0);
+        assert_eq!(store.arrays["a"].get(&[8]), 0.0);
+        // Missing input is a positioned runtime error.
+        assert!(run_serial(&analysis, &HashMap::new()).is_err());
+    }
+}

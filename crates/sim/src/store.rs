@@ -1,0 +1,136 @@
+//! Array storage for the interpreters (column-major, Fortran-style).
+
+use std::collections::HashMap;
+
+/// One allocated array with inclusive per-dimension bounds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Array {
+    /// `(lower, upper)` inclusive bounds per dimension.
+    pub dims: Vec<(i64, i64)>,
+    /// Column-major element storage.
+    pub data: Vec<f64>,
+}
+
+impl Array {
+    /// Allocates a zero-filled array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is empty (`lb > ub`).
+    pub fn new(dims: Vec<(i64, i64)>) -> Self {
+        let mut len = 1usize;
+        for &(lb, ub) in &dims {
+            assert!(lb <= ub, "empty array dimension {lb}:{ub}");
+            len *= (ub - lb + 1) as usize;
+        }
+        Array {
+            dims,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Column-major linear offset of `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds or has the wrong rank.
+    pub fn offset(&self, idx: &[i64]) -> usize {
+        assert_eq!(idx.len(), self.dims.len(), "rank mismatch");
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for (d, &(lb, ub)) in self.dims.iter().enumerate() {
+            let x = idx[d];
+            assert!(
+                x >= lb && x <= ub,
+                "index {x} out of bounds {lb}:{ub} in dim {d}"
+            );
+            off += (x - lb) as usize * stride;
+            stride *= (ub - lb + 1) as usize;
+        }
+        off
+    }
+
+    /// Reads the element at `idx`.
+    pub fn get(&self, idx: &[i64]) -> f64 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Writes the element at `idx`.
+    pub fn set(&mut self, idx: &[i64], v: f64) {
+        let off = self.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the array has no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Named arrays plus integer and floating-point scalars.
+#[derive(Clone, Debug, Default)]
+pub struct Store {
+    /// Arrays by name.
+    pub arrays: HashMap<String, Array>,
+    /// Integer scalars (incl. loop variables).
+    pub ints: HashMap<String, i64>,
+    /// Floating-point scalars.
+    pub floats: HashMap<String, f64>,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Fortran implicit typing: names starting with `i`..`n` are integers.
+    pub fn implicitly_integer(name: &str) -> bool {
+        matches!(name.chars().next(), Some('i'..='n'))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_major_layout() {
+        let mut a = Array::new(vec![(1, 3), (1, 2)]);
+        // (1,1)(2,1)(3,1)(1,2)(2,2)(3,2)
+        a.set(&[2, 1], 5.0);
+        assert_eq!(a.offset(&[2, 1]), 1);
+        a.set(&[1, 2], 7.0);
+        assert_eq!(a.offset(&[1, 2]), 3);
+        assert_eq!(a.get(&[2, 1]), 5.0);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn nonunit_lower_bounds() {
+        let a = Array::new(vec![(0, 99), (1, 100)]);
+        assert_eq!(a.offset(&[0, 1]), 0);
+        assert_eq!(a.offset(&[99, 1]), 99);
+        assert_eq!(a.offset(&[0, 2]), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let a = Array::new(vec![(1, 3)]);
+        a.get(&[4]);
+    }
+
+    #[test]
+    fn implicit_typing() {
+        assert!(Store::implicitly_integer("iter"));
+        assert!(Store::implicitly_integer("n"));
+        assert!(!Store::implicitly_integer("err"));
+        assert!(!Store::implicitly_integer("x"));
+    }
+}

@@ -1,0 +1,13 @@
+//! dhpf — a reproduction of the Rice dHPF compiler (PLDI 1998).
+//!
+//! Re-exports the workspace crates under one roof:
+//! - [`omega`] — integer tuple sets and relations (the Omega-library substrate)
+//! - [`codegen`] — multiple-mapping loop-nest code generation
+//! - [`hpf`] — the mini-Fortran/HPF frontend
+//! - [`core`] — the dHPF analyses and optimizations
+//! - [`sim`] — the SPMD message-passing simulator
+pub use dhpf_codegen as codegen;
+pub use dhpf_core as core;
+pub use dhpf_hpf as hpf;
+pub use dhpf_omega as omega;
+pub use dhpf_sim as sim;
