@@ -1,8 +1,10 @@
-//! Figure 7 as a Criterion benchmark: one small simulated configuration
-//! per application, tracking end-to-end compile+simulate time. The
-//! `figure7` binary prints the full speedup curves.
+//! Figure 7 as a micro-benchmark: one small simulated configuration per
+//! application, tracking end-to-end compile+simulate time. The `figure7`
+//! binary prints the full speedup curves.
+//!
+//! Run with `cargo bench -p dhpf-bench --bench figure7_sim`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dhpf_bench::timing::bench;
 use dhpf_core::{compile, CompileOptions};
 use dhpf_sim::{simulate, MachineModel};
 use std::collections::HashMap;
@@ -12,30 +14,22 @@ fn inputs(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
     pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
 }
 
-fn bench_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figure7");
-    g.sample_size(10);
-
+fn main() {
     let jacobi = compile(dhpf_bench::sources::JACOBI, &CompileOptions::default()).unwrap();
     let jin = inputs(&[("niter", 2)]);
-    g.bench_function("simulate JACOBI 128x128 P=4", |b| {
-        b.iter(|| black_box(simulate(&jacobi, &[2, 2], &jin, &MachineModel::sp2()).unwrap()))
+    bench("simulate JACOBI 128x128 P=4", 10, || {
+        black_box(simulate(&jacobi, &[2, 2], &jin, &MachineModel::sp2()).unwrap())
     });
 
     let tom = compile(dhpf_bench::sources::TOMCATV, &CompileOptions::default()).unwrap();
     let tin = inputs(&[("niter", 2)]);
-    g.bench_function("simulate TOMCATV 257x257 P=4", |b| {
-        b.iter(|| black_box(simulate(&tom, &[4], &tin, &MachineModel::sp2()).unwrap()))
+    bench("simulate TOMCATV 257x257 P=4", 10, || {
+        black_box(simulate(&tom, &[4], &tin, &MachineModel::sp2()).unwrap())
     });
 
     let erl = compile(dhpf_bench::sources::ERLEBACHER, &CompileOptions::default()).unwrap();
     let ein = inputs(&[]);
-    g.bench_function("simulate ERLEBACHER 32^3 P=4", |b| {
-        b.iter(|| black_box(simulate(&erl, &[4], &ein, &MachineModel::sp2()).unwrap()))
+    bench("simulate ERLEBACHER 32^3 P=4", 10, || {
+        black_box(simulate(&erl, &[4], &ein, &MachineModel::sp2()).unwrap())
     });
-
-    g.finish();
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

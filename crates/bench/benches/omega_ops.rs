@@ -1,8 +1,10 @@
 //! Microbenchmarks of the integer-set substrate: the operations that
 //! dominate the compiler's analysis time (intersection, difference,
 //! satisfiability, composition) on representative HPF constraint systems.
+//!
+//! Run with `cargo bench -p dhpf-bench --bench omega_ops`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dhpf_bench::timing::bench;
 use dhpf_omega::{Relation, Set};
 use std::hint::black_box;
 
@@ -18,53 +20,54 @@ fn vp_layout() -> Relation {
         .unwrap()
 }
 
-fn bench_ops(c: &mut Criterion) {
+fn main() {
     let iter: Set = "{[i] : 1 <= i <= n}".parse().unwrap();
     let refmap: Relation = "{[i] -> [a] : a = i + 1}".parse().unwrap();
     let me: Set = "{[p] : p = m}".parse().unwrap();
 
-    c.bench_function("compose refmap with block layout", |b| {
+    {
         let layout = block_layout();
-        b.iter(|| black_box(refmap.then(&layout.inverse())));
-    });
+        bench("compose refmap with block layout", 200, || {
+            black_box(refmap.then(&layout.inverse()))
+        });
+    }
 
-    c.bench_function("apply + subtract (nl data set, fixed P)", |b| {
+    {
         let layout = block_layout();
-        let cp = layout.restrict_range(
-            &refmap
-                .restrict_domain(&iter)
-                .range(),
-        );
-        b.iter(|| {
+        let cp = layout.restrict_range(&refmap.restrict_domain(&iter).range());
+        bench("apply + subtract (nl data set, fixed P)", 100, || {
             let accessed = cp.apply(&me);
             let owned = layout.apply(&me);
             black_box(accessed.subtract(&owned))
         });
-    });
+    }
 
-    c.bench_function("apply + subtract (nl data set, symbolic P)", |b| {
+    {
         let layout = vp_layout();
         let cp = layout.restrict_range(&refmap.restrict_domain(&iter).range());
-        b.iter(|| {
+        bench("apply + subtract (nl data set, symbolic P)", 100, || {
             let accessed = cp.apply(&me);
             let owned = layout.apply(&me);
             black_box(accessed.subtract(&owned))
         });
-    });
+    }
 
-    c.bench_function("satisfiability with strides", |b| {
+    {
         let s: Set = "{[i] : 1 <= i <= 1000 && exists(a : i = 7a + 3) && exists(b : i = 5b + 2)}"
             .parse()
             .unwrap();
-        b.iter(|| black_box(s.as_relation().is_satisfiable()));
-    });
+        bench("satisfiability with strides", 200, || {
+            black_box(s.as_relation().is_satisfiable())
+        });
+    }
 
-    c.bench_function("emptiness of aligned difference", |b| {
-        let a: Set = "{[i] : 1 <= i <= n && exists(q : i = 4q + 1)}".parse().unwrap();
+    {
+        let a: Set = "{[i] : 1 <= i <= n && exists(q : i = 4q + 1)}"
+            .parse()
+            .unwrap();
         let bs: Set = "{[i] : 1 <= i <= n}".parse().unwrap();
-        b.iter(|| black_box(a.subtract(&bs).is_empty()));
-    });
+        bench("emptiness of aligned difference", 200, || {
+            black_box(a.subtract(&bs).is_empty())
+        });
+    }
 }
-
-criterion_group!(benches, bench_ops);
-criterion_main!(benches);

@@ -1,30 +1,30 @@
-//! Table 1 as a Criterion benchmark: compile-time of the benchmark
+//! Table 1 as a micro-benchmark: compile-time of the benchmark
 //! applications, fixed vs symbolic processor counts. The `table1` binary
 //! prints the full phase breakdown; this bench tracks the totals.
+//!
+//! Run with `cargo bench -p dhpf-bench --bench table1_compile`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dhpf_bench::timing::bench;
 use dhpf_core::{compile, CompileOptions};
 use std::hint::black_box;
 
-fn bench_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1");
-    g.sample_size(10);
-    g.bench_function("compile TOMCATV-sym", |b| {
-        b.iter(|| black_box(compile(dhpf_bench::sources::TOMCATV, &CompileOptions::default())))
+fn main() {
+    bench("compile TOMCATV-sym", 10, || {
+        black_box(compile(
+            dhpf_bench::sources::TOMCATV,
+            &CompileOptions::default(),
+        ))
     });
-    g.bench_function("compile JACOBI", |b| {
-        b.iter(|| black_box(compile(dhpf_bench::sources::JACOBI, &CompileOptions::default())))
+    bench("compile JACOBI", 10, || {
+        black_box(compile(
+            dhpf_bench::sources::JACOBI,
+            &CompileOptions::default(),
+        ))
     });
-    g.bench_function("compile ERLEBACHER", |b| {
-        b.iter(|| {
-            black_box(compile(
-                dhpf_bench::sources::ERLEBACHER,
-                &CompileOptions::default(),
-            ))
-        })
+    bench("compile ERLEBACHER", 10, || {
+        black_box(compile(
+            dhpf_bench::sources::ERLEBACHER,
+            &CompileOptions::default(),
+        ))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_compile);
-criterion_main!(benches);

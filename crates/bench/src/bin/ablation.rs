@@ -9,8 +9,13 @@ use dhpf_sim::{simulate, MachineModel};
 use std::collections::HashMap;
 
 fn main() {
+    let use_cache = !std::env::args().any(|a| a == "--no-cache");
     let inputs: HashMap<String, i64> = [("niter".to_string(), 3i64)].into_iter().collect();
-    println!("Ablation: Figure-4 loop splitting (TOMCATV 257x257)\n");
+    println!("Ablation: Figure-4 loop splitting (TOMCATV 257x257)");
+    if !use_cache {
+        println!("(omega context cache disabled via --no-cache)");
+    }
+    println!();
     println!("  P    t(no split)   t(split)    gain");
     for p in [2i64, 4, 8, 16] {
         let mut times = Vec::new();
@@ -19,11 +24,11 @@ fn main() {
                 spmd: SpmdOptions {
                     loop_splitting: split,
                 },
+                use_cache,
             };
-            let compiled =
-                compile(dhpf_bench::sources::TOMCATV, &opts).expect("compile tomcatv");
-            let r = simulate(&compiled, &[p], &inputs, &MachineModel::sp2())
-                .expect("simulate tomcatv");
+            let compiled = compile(dhpf_bench::sources::TOMCATV, &opts).expect("compile tomcatv");
+            let r =
+                simulate(&compiled, &[p], &inputs, &MachineModel::sp2()).expect("simulate tomcatv");
             times.push(r.time);
         }
         println!(

@@ -1,4 +1,11 @@
 //! Prints the Table 1 reproduction.
+//!
+//! Pass `--no-cache` to disable the shared Omega context (hash-consing +
+//! memoized simplification) and reproduce the uncached compile times.
 fn main() {
-    println!("{}", dhpf_bench::table1::run());
+    let use_cache = !std::env::args().any(|a| a == "--no-cache");
+    if !use_cache {
+        println!("(omega context cache disabled via --no-cache)\n");
+    }
+    println!("{}", dhpf_bench::table1::run_with(use_cache));
 }

@@ -52,10 +52,7 @@ pub fn curve(
     };
     let compiled: Compiled =
         compile(&src, &CompileOptions::default()).unwrap_or_else(|e| panic!("{bench}: {e}"));
-    let inputs: HashMap<String, i64> = inputs
-        .iter()
-        .map(|&(k, v)| (k.to_string(), v))
-        .collect();
+    let inputs: HashMap<String, i64> = inputs.iter().map(|&(k, v)| (k.to_string(), v)).collect();
     let machine = MachineModel::sp2();
     let mut points = Vec::new();
     // Speedup is p0 * T(p0) / T(p): for a 1-D grid p0 = 1 (plain speedup);
@@ -90,56 +87,56 @@ pub fn curve(
 /// Simulated sizes are scaled down from the paper's (which ran minutes on a
 /// real SP-2); the *shape* of each curve is the reproduction target.
 pub fn run(procs: &[i64]) -> Vec<Curve> {
-    let mut out = Vec::new();
-    out.push(curve(
-        "TOMCATV",
-        crate::sources::TOMCATV,
-        "129x129",
-        Some(("parameter (n = 257)", "parameter (n = 129)")),
-        &[("niter", 3)],
-        procs,
-    ));
-    out.push(curve(
-        "TOMCATV",
-        crate::sources::TOMCATV,
-        "257x257",
-        None,
-        &[("niter", 3)],
-        procs,
-    ));
-    out.push(curve(
-        "ERLEBACHER",
-        crate::sources::ERLEBACHER,
-        "32^3",
-        None,
-        &[],
-        procs,
-    ));
-    out.push(curve(
-        "ERLEBACHER",
-        crate::sources::ERLEBACHER,
-        "64^3",
-        Some(("parameter (n = 32, nz = 32)", "parameter (n = 64, nz = 64)")),
-        &[],
-        procs,
-    ));
-    out.push(curve(
-        "JACOBI",
-        crate::sources::JACOBI,
-        "128x128",
-        None,
-        &[("niter", 3)],
-        procs,
-    ));
-    out.push(curve(
-        "JACOBI",
-        crate::sources::JACOBI,
-        "256x256",
-        Some(("parameter (n = 128)", "parameter (n = 256)")),
-        &[("niter", 3)],
-        procs,
-    ));
-    out
+    vec![
+        curve(
+            "TOMCATV",
+            crate::sources::TOMCATV,
+            "129x129",
+            Some(("parameter (n = 257)", "parameter (n = 129)")),
+            &[("niter", 3)],
+            procs,
+        ),
+        curve(
+            "TOMCATV",
+            crate::sources::TOMCATV,
+            "257x257",
+            None,
+            &[("niter", 3)],
+            procs,
+        ),
+        curve(
+            "ERLEBACHER",
+            crate::sources::ERLEBACHER,
+            "32^3",
+            None,
+            &[],
+            procs,
+        ),
+        curve(
+            "ERLEBACHER",
+            crate::sources::ERLEBACHER,
+            "64^3",
+            Some(("parameter (n = 32, nz = 32)", "parameter (n = 64, nz = 64)")),
+            &[],
+            procs,
+        ),
+        curve(
+            "JACOBI",
+            crate::sources::JACOBI,
+            "128x128",
+            None,
+            &[("niter", 3)],
+            procs,
+        ),
+        curve(
+            "JACOBI",
+            crate::sources::JACOBI,
+            "256x256",
+            Some(("parameter (n = 128)", "parameter (n = 256)")),
+            &[("niter", 3)],
+            procs,
+        ),
+    ]
 }
 
 /// Renders curves as an ASCII table.

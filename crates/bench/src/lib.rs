@@ -12,6 +12,7 @@
 
 pub mod figure7;
 pub mod table1;
+pub mod timing;
 
 /// The benchmark HPF sources, embedded so the harness runs anywhere.
 pub mod sources {

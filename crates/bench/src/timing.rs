@@ -1,0 +1,41 @@
+//! Minimal wall-clock micro-benchmark harness (no external deps).
+//!
+//! The `benches/` entry points use this instead of a framework so the
+//! workspace builds in fully offline environments. Each benchmark runs a
+//! warm-up pass, then a fixed number of timed iterations, and reports the
+//! median and mean per-iteration time.
+
+use std::time::Instant;
+
+/// Runs `f` for `iters` timed iterations (after one warm-up) and prints
+/// `name: median ... mean ...` in adaptive units.
+pub fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<48} median {:>12}  mean {:>12}  ({} iters)",
+        fmt_time(median),
+        fmt_time(mean),
+        samples.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}

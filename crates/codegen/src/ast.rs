@@ -360,8 +360,11 @@ mod tests {
         let mut a = Vec::new();
         let mut b = Vec::new();
         let mut env: Env = [("n".to_string(), 5i64)].into_iter().collect();
-        code.execute(&mut env.clone(), &mut |_, e| a.push(e["i"])).unwrap();
-        lifted.execute(&mut env, &mut |_, e| b.push(e["i"])).unwrap();
+        code.execute(&mut env.clone(), &mut |_, e| a.push(e["i"]))
+            .unwrap();
+        lifted
+            .execute(&mut env, &mut |_, e| b.push(e["i"]))
+            .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -12,7 +12,7 @@
 
 use crate::ast::{Code, StmtId};
 use crate::expr::{Cond, Expr};
-use dhpf_omega::{to_stride_form, Conjunct, LinExpr, Set, Var};
+use dhpf_omega::{to_stride_form_in, Conjunct, Context, LinExpr, Set, Var};
 use std::fmt;
 
 /// One statement and its iteration space.
@@ -138,6 +138,7 @@ pub fn codegen(
     });
     let mut pieces: Vec<Piece> = Vec::new();
     for (seq, m) in mappings.iter().enumerate() {
+        let ctx = m.space.context().cloned();
         let mut space = m.space.clone();
         space.simplify_deep();
         // Disjoint disjunctive form: piece_k = conj_k - (conj_0 ∪ ... ∪ conj_{k-1}).
@@ -152,6 +153,7 @@ pub fn codegen(
             }
             let mut prev = Set::empty(arity);
             let mut prev_rel = prev.into_relation();
+            prev_rel.set_context(ctx.as_ref());
             for name in &params {
                 prev_rel.ensure_param(name);
             }
@@ -160,6 +162,7 @@ pub fn codegen(
             }
             prev = Set::from_relation(prev_rel);
             let mut cur_rel = Set::empty(arity).into_relation();
+            cur_rel.set_context(ctx.as_ref());
             for name in &params {
                 cur_rel.ensure_param(name);
             }
@@ -170,13 +173,14 @@ pub fn codegen(
             disjoint.extend(diff.as_relation().conjuncts().iter().cloned());
         }
         for c in disjoint {
-            for sf in to_stride_form(c).map_err(|_| CodegenError::Inexact)? {
+            for sf in to_stride_form_in(c, ctx.as_ref()).map_err(|_| CodegenError::Inexact)? {
                 pieces.push(Piece {
                     stmt: m.stmt,
                     seq,
                     conj: sf,
                     params: params.clone(),
                     pending: Vec::new(),
+                    ctx: ctx.clone(),
                 });
             }
         }
@@ -189,8 +193,7 @@ pub fn codegen(
         };
         for e in p.conj.eqs() {
             if deepest_level(e).is_none() && !has_exist(e) {
-                p.pending
-                    .push(Cond::Eq(namer.expr(e, 1), Expr::Const(0)));
+                p.pending.push(Cond::Eq(namer.expr(e, 1), Expr::Const(0)));
             }
             if deepest_level(e).is_none() && has_exist(e) {
                 if let Some((g, f)) = congruence_parts(e) {
@@ -206,8 +209,7 @@ pub fn codegen(
         }
         for e in p.conj.geqs() {
             if deepest_level(e).is_none() {
-                p.pending
-                    .push(Cond::Geq(namer.expr(e, 1), Expr::Const(0)));
+                p.pending.push(Cond::Geq(namer.expr(e, 1), Expr::Const(0)));
             }
         }
         if let Some((kc, _)) = &known_conj {
@@ -236,6 +238,7 @@ struct Piece {
     conj: Conjunct,
     params: Vec<String>,
     pending: Vec<Cond>,
+    ctx: Option<Context>,
 }
 
 impl Piece {
@@ -347,11 +350,12 @@ fn recovered_bounds(
         names,
         params: &piece.params,
     };
+    let cx = piece.ctx.as_ref();
     let mut work = vec![piece.conj.clone()];
     for deeper in (d + 1)..arity {
         let mut next = Vec::new();
         for c in work {
-            next.extend(c.eliminate_exact(Var::In(deeper)));
+            next.extend(c.eliminate_exact_in(Var::In(deeper), cx));
         }
         work = next;
     }
@@ -360,13 +364,13 @@ fn recovered_bounds(
     // either would otherwise veto bound recovery.
     let mut normalized = Vec::new();
     for c in work {
-        match to_stride_form(c) {
+        match to_stride_form_in(c, cx) {
             Ok(parts) => normalized.extend(parts),
             Err(_) => return (None, None),
         }
     }
     let mut work = normalized;
-    work.retain(|c| c.is_satisfiable());
+    work.retain(|c| c.is_satisfiable_in(cx));
     let v = Var::In(d);
     let mut los: Vec<Expr> = Vec::new();
     let mut his: Vec<Expr> = Vec::new();
@@ -522,8 +526,7 @@ fn analyze_level(piece: &Piece, d: u32, names: &[&str]) -> LevelInfo {
                 rest.remove_term(v);
                 if a.abs() == 1 && info.stride.is_none() {
                     // v ≡ -a*rest (mod g): usable as a loop step.
-                    let residue =
-                        Expr::Mod(Box::new(namer.expr(&rest, -a)), g);
+                    let residue = Expr::Mod(Box::new(namer.expr(&rest, -a)), g);
                     info.stride = Some((residue, g));
                 } else {
                     info.guards.push(Cond::Stride {
@@ -566,10 +569,7 @@ fn gen_level(
         }
         return Ok(Code::Seq(out));
     }
-    let mut infos: Vec<LevelInfo> = pieces
-        .iter()
-        .map(|p| analyze_level(p, d, names))
-        .collect();
+    let mut infos: Vec<LevelInfo> = pieces.iter().map(|p| analyze_level(p, d, names)).collect();
     // Every piece needs both bounds at a loop level; recover missing ones by
     // projecting away the deeper dimensions.
     for (info, piece) in infos.iter_mut().zip(pieces.iter()) {
@@ -633,10 +633,7 @@ fn gen_level(
             lo = Expr::Add(vec![
                 lo.clone(),
                 Expr::Mod(
-                    Box::new(Expr::Add(vec![
-                        r0.clone(),
-                        Expr::Mul(-1, Box::new(lo)),
-                    ])),
+                    Box::new(Expr::Add(vec![r0.clone(), Expr::Mul(-1, Box::new(lo))])),
                     *m0,
                 ),
             ])
@@ -648,18 +645,17 @@ fn gen_level(
     // Attach per-piece guards for this level.
     for (i, p) in pieces.iter_mut().enumerate() {
         if !shared_lo {
-            p.pending.push(Cond::Geq(vexpr.clone(), piece_lo[i].clone()));
+            p.pending
+                .push(Cond::Geq(vexpr.clone(), piece_lo[i].clone()));
         }
         if !shared_hi {
-            p.pending.push(Cond::Geq(piece_hi[i].clone(), vexpr.clone()));
+            p.pending
+                .push(Cond::Geq(piece_hi[i].clone(), vexpr.clone()));
         }
         if step == 1 {
             if let Some((r, m)) = &infos[i].stride {
                 p.pending.push(Cond::Stride {
-                    expr: Expr::Add(vec![
-                        vexpr.clone(),
-                        Expr::Mul(-1, Box::new(r.clone())),
-                    ]),
+                    expr: Expr::Add(vec![vexpr.clone(), Expr::Mul(-1, Box::new(r.clone()))]),
                     modulus: *m,
                     residue: 0,
                 });

@@ -94,7 +94,8 @@ mod tests {
             }),
         };
         let txt = emit_fortran(&code, &|id| format!("call work({})", id.0));
-        let expect = "do i = 1, N, 2\n  if (i >= 3) then\n    ! pack\n    call work(1)\n  end if\nend do\n";
+        let expect =
+            "do i = 1, N, 2\n  if (i >= 3) then\n    ! pack\n    call work(1)\n  end if\nend do\n";
         assert_eq!(txt, expect);
     }
 }

@@ -468,10 +468,7 @@ mod tests {
             Expr::Var("n".into()),
         ]);
         let s = e.simplified();
-        assert_eq!(
-            s,
-            Expr::Add(vec![Expr::Var("n".into()), Expr::Const(14)])
-        );
+        assert_eq!(s, Expr::Add(vec![Expr::Var("n".into()), Expr::Const(14)]));
         let m = Expr::Max(vec![Expr::Const(3), Expr::Const(7)]).simplified();
         assert_eq!(m, Expr::Const(7));
     }

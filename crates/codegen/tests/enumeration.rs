@@ -2,8 +2,8 @@
 //! sets, in lexicographic order, with same-tuple statements in source order.
 
 use dhpf_codegen::{codegen, codegen_set, CodegenOptions, Env, Mapping, StmtId};
+use dhpf_omega::testing::Rng;
 use dhpf_omega::Set;
-use proptest::prelude::*;
 
 fn run(code: &dhpf_codegen::Code, params: &[(&str, i64)]) -> Vec<(usize, Vec<i64>)> {
     run_named(code, params, &["i", "j"])
@@ -14,10 +14,7 @@ fn run_named(
     params: &[(&str, i64)],
     names: &[&str],
 ) -> Vec<(usize, Vec<i64>)> {
-    let mut env: Env = params
-        .iter()
-        .map(|&(k, v)| (k.to_string(), v))
-        .collect();
+    let mut env: Env = params.iter().map(|&(k, v)| (k.to_string(), v)).collect();
     let mut out = Vec::new();
     code.execute(&mut env, &mut |id, e| {
         let tuple: Vec<i64> = names
@@ -45,16 +42,16 @@ fn expect_set(src: &str, params: &[(&str, i64)], names: &[&str]) {
 
 #[test]
 fn triangular_space() {
-    expect_set("{[i,j] : 1 <= i <= N && i <= j <= N}", &[("N", 5)], &["i", "j"]);
+    expect_set(
+        "{[i,j] : 1 <= i <= N && i <= j <= N}",
+        &[("N", 5)],
+        &["i", "j"],
+    );
 }
 
 #[test]
 fn union_of_disjoint_boxes() {
-    expect_set(
-        "{[i] : 1 <= i <= 3 || 7 <= i <= 9}",
-        &[],
-        &["i"],
-    );
+    expect_set("{[i] : 1 <= i <= 3 || 7 <= i <= 9}", &[], &["i"]);
 }
 
 #[test]
@@ -93,11 +90,7 @@ fn cyclic_distribution_space() {
 
 #[test]
 fn equality_defined_dimension() {
-    expect_set(
-        "{[i,j] : 1 <= i <= 8 && j = 2i + 1}",
-        &[],
-        &["i", "j"],
-    );
+    expect_set("{[i,j] : 1 <= i <= 8 && j = 2i + 1}", &[], &["i", "j"]);
 }
 
 #[test]
@@ -115,8 +108,14 @@ fn multi_statement_lexicographic_interleaving() {
     let b: Set = "{[i] : 4 <= i <= 8}".parse().unwrap();
     let code = codegen(
         &[
-            Mapping { stmt: StmtId(0), space: a },
-            Mapping { stmt: StmtId(1), space: b },
+            Mapping {
+                stmt: StmtId(0),
+                space: a,
+            },
+            Mapping {
+                stmt: StmtId(1),
+                space: b,
+            },
         ],
         &["i"],
         &CodegenOptions::default(),
@@ -141,8 +140,14 @@ fn multi_statement_2d() {
     let b: Set = "{[i,j] : 2 <= i <= 4 && 2 <= j <= 3}".parse().unwrap();
     let code = codegen(
         &[
-            Mapping { stmt: StmtId(0), space: a.clone() },
-            Mapping { stmt: StmtId(1), space: b.clone() },
+            Mapping {
+                stmt: StmtId(0),
+                space: a.clone(),
+            },
+            Mapping {
+                stmt: StmtId(1),
+                space: b.clone(),
+            },
         ],
         &["i", "j"],
         &CodegenOptions::default(),
@@ -180,22 +185,22 @@ fn symbolic_bounds_emit_min_max() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_1d_unions_enumerate_exactly(
-        ranges in proptest::collection::vec((0..12i64, 0..12i64), 1..4),
-        strided in proptest::bool::ANY,
-        m in 2..4i64,
-        r in 0..2i64,
-    ) {
-        let mut parts: Vec<String> = ranges
-            .iter()
-            .map(|&(a, b)| format!("{} <= i <= {}", a.min(b), a.max(b)))
+#[test]
+fn random_1d_unions_enumerate_exactly() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let n_ranges = rng.range(1, 3) as usize;
+        let mut parts: Vec<String> = (0..n_ranges)
+            .map(|_| {
+                let a = rng.range(0, 11);
+                let b = rng.range(0, 11);
+                format!("{} <= i <= {}", a.min(b), a.max(b))
+            })
             .collect();
-        if strided {
-            parts[0] = format!("{} && exists(q : i = {}q + {})", parts[0], m, r % m);
+        if rng.chance(1, 2) {
+            let m = rng.range(2, 3);
+            let r = rng.range(0, 1) % m;
+            parts[0] = format!("{} && exists(q : i = {}q + {})", parts[0], m, r);
         }
         let src = format!("{{[i] : {}}}", parts.join(" || "));
         let s: Set = src.parse().unwrap();
@@ -203,20 +208,24 @@ proptest! {
         let got: Vec<Vec<i64>> = run(&code, &[]).into_iter().map(|(_, t)| t).collect();
         let mut want = s.enumerate(&[]).unwrap();
         want.sort();
-        prop_assert_eq!(got, want, "source {}", src);
+        assert_eq!(got, want, "seed {seed} source {src}");
     }
+}
 
-    #[test]
-    fn random_2d_spaces_enumerate_exactly(
-        ib in (0..8i64, 0..8i64),
-        jb in (0..8i64, 0..8i64),
-        coupled in proptest::bool::ANY,
-    ) {
+#[test]
+fn random_2d_spaces_enumerate_exactly() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let (i0, i1) = (rng.range(0, 7), rng.range(0, 7));
+        let (j0, j1) = (rng.range(0, 7), rng.range(0, 7));
         let mut src = format!(
             "{{[i,j] : {} <= i <= {} && {} <= j <= {}",
-            ib.0.min(ib.1), ib.0.max(ib.1), jb.0.min(jb.1), jb.0.max(jb.1)
+            i0.min(i1),
+            i0.max(i1),
+            j0.min(j1),
+            j0.max(j1)
         );
-        if coupled {
+        if rng.chance(1, 2) {
             src.push_str(" && i <= j");
         }
         src.push('}');
@@ -225,6 +234,6 @@ proptest! {
         let got: Vec<Vec<i64>> = run(&code, &[]).into_iter().map(|(_, t)| t).collect();
         let mut want = s.enumerate(&[]).unwrap();
         want.sort();
-        prop_assert_eq!(got, want, "source {}", src);
+        assert_eq!(got, want, "seed {seed} source {src}");
     }
 }

@@ -54,7 +54,8 @@ impl CommSets {
 /// layout's.
 pub fn comm_sets(reads: &[CommRef], writes: &[CommRef], layout: &Layout) -> CommSets {
     let proc_rank = layout.proc_rank();
-    let me = myid_set(proc_rank);
+    let mut me = myid_set(proc_rank);
+    me.set_context(layout.rel.context());
     let owned_by_m = layout.rel.apply(&me);
     let others = Set::universe(proc_rank).subtract(&me);
 
@@ -85,19 +86,12 @@ pub fn comm_sets(reads: &[CommRef], writes: &[CommRef], layout: &Layout) -> Comm
 
     // Steps 4-5. NLCommMap_t(m) = Layout ∩range nlDataSet_t(m):
     // the owner q of each non-local element m touches.
-    let nl_comm = |nl: &Set| -> Relation {
-        layout
-            .rel
-            .restrict_range(nl)
-            .restrict_domain(&others)
-    };
+    let nl_comm = |nl: &Set| -> Relation { layout.rel.restrict_range(nl).restrict_domain(&others) };
     // LocalCommMap_t(m) = DataAccessed_t ∩range Layout({m}): the data owned
     // by m that each other processor p touches.
     let local_comm = |d: &Option<Relation>| -> Relation {
         match d {
-            Some(rel) => rel
-                .restrict_range(&owned_by_m)
-                .restrict_domain(&others),
+            Some(rel) => rel.restrict_range(&owned_by_m).restrict_domain(&others),
             None => Relation::empty(proc_rank, layout.rel.n_out()),
         }
     };

@@ -71,10 +71,7 @@ pub fn cp_map(stmt: &StmtInfo, layouts: &BTreeMap<String, Layout>) -> Relation {
 /// ON_HOME terms actually used for partitioning: the declared terms, or the
 /// LHS by default; scalar reductions partition on their first distributed
 /// read so each processor reduces its local section.
-pub fn effective_on_home(
-    stmt: &StmtInfo,
-    layouts: &BTreeMap<String, Layout>,
-) -> Vec<ArrayRef> {
+pub fn effective_on_home(stmt: &StmtInfo, layouts: &BTreeMap<String, Layout>) -> Vec<ArrayRef> {
     let declared: Vec<ArrayRef> = stmt
         .on_home
         .iter()
@@ -114,11 +111,7 @@ pub fn proc_rank_of(stmt: &StmtInfo, layouts: &BTreeMap<String, Layout>) -> u32 
             }
         }
     }
-    layouts
-        .values()
-        .map(Layout::proc_rank)
-        .max()
-        .unwrap_or(1)
+    layouts.values().map(Layout::proc_rank).max().unwrap_or(1)
 }
 
 /// Restricts a loop context to the loops at `level..`, turning outer loop

@@ -11,6 +11,18 @@ use dhpf_omega::{LinExpr, Relation, Set, Var};
 /// read instance `ir` touch the same element with `iw` and `ir` equal in
 /// dimensions `0..d` and `iw[d] < ir[d]`.
 pub fn carried_level(write: &ArrayRef, read: &ArrayRef, ctx: &LoopContext) -> Option<u32> {
+    carried_level_in(write, read, ctx, None)
+}
+
+/// [`carried_level`] threading a shared Omega
+/// [`Context`](dhpf_omega::Context) through the satisfiability tests, so
+/// repeated dependence queries over the same nest reuse cached projections.
+pub fn carried_level_in(
+    write: &ArrayRef,
+    read: &ArrayRef,
+    ctx: &LoopContext,
+    omega: Option<&dhpf_omega::Context>,
+) -> Option<u32> {
     if write.array != read.array {
         return None;
     }
@@ -20,7 +32,8 @@ pub fn carried_level(write: &ArrayRef, read: &ArrayRef, ctx: &LoopContext) -> Op
     // Same-element relation: { [iw] -> [ir] : write(iw) = read(ir) }.
     let same = w.then(&r.inverse());
     // Restrict both sides to the iteration space.
-    let iters = ctx.iteration_set();
+    let mut iters = ctx.iteration_set();
+    iters.set_context(omega);
     let same = same.restrict_domain(&iters).restrict_range(&iters);
     let mut deepest = None;
     for d in (0..depth).rev() {
@@ -53,18 +66,29 @@ fn lex_before_at(depth: u32, d: u32) -> Relation {
 /// Returns a level in `0..=depth`: `0` hoists out of the whole nest; level
 /// `l` places communication just inside loop `l-1`.
 pub fn placement_level(read: &ArrayRef, writes: &[&ArrayRef], ctx: &LoopContext) -> u32 {
+    placement_level_in(read, writes, ctx, None)
+}
+
+/// [`placement_level`] threading a shared Omega
+/// [`Context`](dhpf_omega::Context) through the dependence tests.
+pub fn placement_level_in(
+    read: &ArrayRef,
+    writes: &[&ArrayRef],
+    ctx: &LoopContext,
+    omega: Option<&dhpf_omega::Context>,
+) -> u32 {
     let mut level = 0;
     for w in writes {
         if w.array != read.array {
             continue;
         }
-        if let Some(d) = carried_level(w, read, ctx) {
+        if let Some(d) = carried_level_in(w, read, ctx, omega) {
             level = level.max(d + 1);
         } else {
             // A loop-independent dependence (same iteration) still forbids
             // hoisting if the write can produce what the read consumes;
             // check same-iteration overlap.
-            let same_iter = same_iteration_overlap(w, read, ctx);
+            let same_iter = same_iteration_overlap(w, read, ctx, omega);
             if same_iter {
                 level = level.max(ctx.depth());
             }
@@ -73,11 +97,17 @@ pub fn placement_level(read: &ArrayRef, writes: &[&ArrayRef], ctx: &LoopContext)
     level
 }
 
-fn same_iteration_overlap(write: &ArrayRef, read: &ArrayRef, ctx: &LoopContext) -> bool {
+fn same_iteration_overlap(
+    write: &ArrayRef,
+    read: &ArrayRef,
+    ctx: &LoopContext,
+    omega: Option<&dhpf_omega::Context>,
+) -> bool {
     let w = write.ref_map(ctx);
     let r = read.ref_map(ctx);
     let same = w.then(&r.inverse());
-    let iters = ctx.iteration_set();
+    let mut iters = ctx.iteration_set();
+    iters.set_context(omega);
     let same = same.restrict_domain(&iters).restrict_range(&iters);
     // identity on all dims
     let depth = ctx.depth();

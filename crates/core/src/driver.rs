@@ -1,15 +1,29 @@
 //! End-to-end compilation driver with phase instrumentation (Table 1).
 
-use crate::layout::build_layouts;
+use crate::layout::build_layouts_in;
 use crate::phases::PhaseTimers;
 use crate::spmd::{build_spmd, CompileError, SpmdOptions, SpmdProgram, SpmdStats};
 use dhpf_hpf::{analyze, parse, Analysis};
+use dhpf_omega::{CacheStats, Context};
 
 /// Options controlling compilation.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct CompileOptions {
     /// SPMD synthesis options.
     pub spmd: SpmdOptions,
+    /// Share one Omega [`Context`] (hash-consing + memoization) across the
+    /// whole compilation. Disabling it reproduces the uncached behaviour
+    /// (the `--no-cache` ablation of the benchmarks).
+    pub use_cache: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            spmd: SpmdOptions::default(),
+            use_cache: true,
+        }
+    }
 }
 
 /// The result of compiling an HPF program.
@@ -32,6 +46,9 @@ pub struct CompileReport {
     pub stats: SpmdStats,
     /// Number of program units compiled.
     pub units: usize,
+    /// Omega-context cache counters for the whole compilation (all zeros
+    /// when [`CompileOptions::use_cache`] is false).
+    pub cache: CacheStats,
 }
 
 /// Compiles HPF source text into an SPMD program.
@@ -45,6 +62,13 @@ pub struct CompileReport {
 /// Returns [`CompileError`] for frontend, semantic, or synthesis failures.
 pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileError> {
     let mut timers = PhaseTimers::new();
+    // One shared hash-consing/memoization arena per compilation: attached
+    // to the layout relations, it propagates to every derived set.
+    let ctx = if opts.use_cache {
+        Context::new()
+    } else {
+        Context::disabled()
+    };
     let prog = timers.time("parsing", |_| parse(src))?;
     if prog.units.is_empty() {
         return Err(CompileError::Unsupported("no program units".to_string()));
@@ -58,18 +82,16 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileErro
             .collect::<Result<Vec<_>, _>>()
     })?;
     let units = analyses.len();
-    let main_idx = prog
-        .units
-        .iter()
-        .position(|u| u.is_program)
-        .unwrap_or(0);
+    let main_idx = prog.units.iter().position(|u| u.is_program).unwrap_or(0);
     let mut compiled: Option<(SpmdProgram, SpmdStats)> = None;
     timers.time("module compilation", |t| -> Result<(), CompileError> {
         // Every unit goes through layout construction and (for units with
         // executable bodies) SPMD synthesis; only the main unit's program is
         // retained, matching how the paper reports whole-module times.
         for (k, analysis) in analyses.iter().enumerate() {
-            let layouts = t.time("layout construction", |_| build_layouts(analysis));
+            let layouts = t.time("layout construction", |_| {
+                build_layouts_in(analysis, Some(&ctx))
+            });
             let result = build_spmd(analysis, &layouts, &opts.spmd, Some(t));
             match result {
                 Ok(ps) => {
@@ -89,6 +111,8 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileErro
         // as a named row for Table 1 parity.
     });
     timers.finish();
+    let cache = ctx.stats();
+    timers.set_cache_stats(cache.clone());
     Ok(Compiled {
         program,
         analysis: analyses.into_iter().nth(main_idx).expect("main analysis"),
@@ -96,6 +120,7 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileErro
             timers,
             stats,
             units,
+            cache,
         },
     })
 }

@@ -101,10 +101,7 @@ pub fn contiguity(comm: &Set, local: &Set) -> Contiguity {
 
 /// Runtime predicate: the extent of dimension `d` must be 1.
 fn runtime_singleton_cond(d: u32) -> Cond {
-    Cond::Eq(
-        Expr::Var(format!("extent{}", d + 1)),
-        Expr::Const(1),
-    )
+    Cond::Eq(Expr::Var(format!("extent{}", d + 1)), Expr::Const(1))
 }
 
 #[cfg(test)]

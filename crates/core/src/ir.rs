@@ -26,8 +26,7 @@ impl LoopContext {
 
     /// The iteration set `{ [i1..ik] : lo_d <= i_d <= hi_d }`.
     pub fn iteration_set(&self) -> Set {
-        let mut rel = Relation::universe(self.depth(), 0)
-            .with_in_names(self.vars.clone());
+        let mut rel = Relation::universe(self.depth(), 0).with_in_names(self.vars.clone());
         let mut c = dhpf_omega::Conjunct::new();
         for (d, (lo, hi)) in self.bounds.iter().enumerate() {
             let v = LinExpr::var(Var::In(d as u32));
@@ -193,7 +192,10 @@ fn walk_guarded(
                 guards.pop();
             }
             StmtKind::Assign {
-                name, subs, rhs, on_home,
+                name,
+                subs,
+                rhs,
+                on_home,
             } => {
                 let index = out.len();
                 let lhs = if a.is_array(name) {
@@ -290,12 +292,7 @@ fn collect_reads(
 
 /// Recognizes `s = s + e`, `s = s - e`, `s = max(s, e)`, `s = min(s, e)`
 /// for a scalar `s`.
-fn recognize_reduction(
-    name: &str,
-    subs: &[Expr],
-    rhs: &Expr,
-    a: &Analysis,
-) -> Option<Reduction> {
+fn recognize_reduction(name: &str, subs: &[Expr], rhs: &Expr, a: &Analysis) -> Option<Reduction> {
     if !subs.is_empty() || a.is_array(name) {
         return None;
     }

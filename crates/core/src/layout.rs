@@ -74,9 +74,22 @@ impl Layout {
 /// parameter names (`np<d>` for symbolic counts, `bs_<template><d>` for
 /// symbolic block sizes) so that layouts compose in one space.
 pub fn build_layouts(a: &Analysis) -> std::collections::BTreeMap<String, Layout> {
+    build_layouts_in(a, None)
+}
+
+/// [`build_layouts`] attaching a shared Omega [`Context`](dhpf_omega::Context)
+/// to every layout relation, so all set operations derived from the layouts
+/// (CP maps, communication sets, split sets, active-VP sets, code
+/// generation) share one memoization arena for the whole compilation.
+pub fn build_layouts_in(
+    a: &Analysis,
+    ctx: Option<&dhpf_omega::Context>,
+) -> std::collections::BTreeMap<String, Layout> {
     let mut out = std::collections::BTreeMap::new();
     for (name, info) in &a.arrays {
-        out.insert(name.clone(), build_layout(a, name, info));
+        let mut layout = build_layout(a, name, info);
+        layout.rel.set_context(ctx);
+        out.insert(name.clone(), layout);
     }
     out
 }
@@ -232,10 +245,7 @@ fn build_layout(a: &Analysis, _name: &str, info: &dhpf_hpf::ArrayInfo) -> Layout
                 c.add_geq(t_expr.clone() - p.scaled(*k) + LinExpr::constant(*k - 1));
                 c.add_geq(p.scaled(*k) - t_expr.clone());
                 c.add_geq(p.clone() - LinExpr::constant(1));
-                ProcCoord::CyclicKVp {
-                    k: *k,
-                    nproc: npn,
-                }
+                ProcCoord::CyclicKVp { k: *k, nproc: npn }
             }
             (DistFormat::Star, _, _) => unreachable!(),
         };
@@ -338,9 +348,15 @@ end
         let la = &layouts["a"];
         assert!(matches!(&la.coords[0], ProcCoord::BlockVp { .. }));
         // With B = 25 bound: VP v owns [v, v+24]; physical m=1 is v=26.
-        assert!(la.rel.contains_pair(&[26], &[26], &[("bs1", 25), ("np1", 4)]));
-        assert!(la.rel.contains_pair(&[26], &[50], &[("bs1", 25), ("np1", 4)]));
-        assert!(!la.rel.contains_pair(&[26], &[51], &[("bs1", 25), ("np1", 4)]));
+        assert!(la
+            .rel
+            .contains_pair(&[26], &[26], &[("bs1", 25), ("np1", 4)]));
+        assert!(la
+            .rel
+            .contains_pair(&[26], &[50], &[("bs1", 25), ("np1", 4)]));
+        assert!(!la
+            .rel
+            .contains_pair(&[26], &[51], &[("bs1", 25), ("np1", 4)]));
     }
 
     #[test]

@@ -12,22 +12,25 @@ pub mod comm;
 pub mod cp;
 pub mod dependence;
 pub mod driver;
-pub mod phases;
-pub mod spmd;
 pub mod inplace;
-pub mod split;
-pub mod vp;
 pub mod ir;
 pub mod layout;
+pub mod phases;
+pub mod split;
+pub mod spmd;
+pub mod vp;
 
-pub use ir::{collect_statements, ArrayRef, LoopContext, ReduceOp, Reduction, StmtInfo};
 pub use comm::{comm_sets, CommRef, CommSets};
 pub use cp::{cp_map, cp_map_at_level, myid_set};
-pub use dependence::{carried_level, placement_level};
+pub use dependence::{carried_level, carried_level_in, placement_level, placement_level_in};
 pub use driver::{compile, CompileOptions, CompileReport, Compiled};
-pub use phases::PhaseTimers;
-pub use spmd::{build_spmd, CommEvent, CompileError, CompiledStmt, NestItem, NestOp, SpmdItem, SpmdOptions, SpmdProgram};
 pub use inplace::{contiguity, Contiguity, RuntimeCheck};
-pub use layout::{build_layouts, Layout, ProcCoord};
+pub use ir::{collect_statements, ArrayRef, LoopContext, ReduceOp, Reduction, StmtInfo};
+pub use layout::{build_layouts, build_layouts_in, Layout, ProcCoord};
+pub use phases::PhaseTimers;
 pub use split::{split_sets, SplitSets};
+pub use spmd::{
+    build_spmd, CommEvent, CompileError, CompiledStmt, NestItem, NestOp, SpmdItem, SpmdOptions,
+    SpmdProgram,
+};
 pub use vp::{active_vp_sets, ActiveVpSets};

@@ -1,5 +1,7 @@
-//! Compilation phase timing (the instrumentation behind Table 1).
+//! Compilation phase timing (the instrumentation behind Table 1), plus the
+//! Omega-cache effectiveness counters reported alongside the wall-clock rows.
 
+use dhpf_omega::CacheStats;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -13,6 +15,7 @@ pub struct PhaseTimers {
     order: Vec<String>,
     start: Option<Instant>,
     overall: Duration,
+    cache: Option<CacheStats>,
 }
 
 impl PhaseTimers {
@@ -59,6 +62,18 @@ impl PhaseTimers {
     /// Time accumulated under `name`.
     pub fn phase(&self, name: &str) -> Duration {
         self.totals.get(name).copied().unwrap_or_default()
+    }
+
+    /// Records the Omega-context cache counters of the compilation these
+    /// timers instrumented, so Table-1 renderers can report cache
+    /// effectiveness next to the wall-clock rows.
+    pub fn set_cache_stats(&mut self, stats: CacheStats) {
+        self.cache = Some(stats);
+    }
+
+    /// The recorded Omega-context cache counters, if any.
+    pub fn cache_stats(&self) -> Option<&CacheStats> {
+        self.cache.as_ref()
     }
 
     /// `(phase, time, percent-of-total)` rows in first-use order.

@@ -159,11 +159,7 @@ end
         };
         let s = split_sets(&mine, &[(&rref, &layouts["b"])], &[]);
         // local ∪ nl_ro ∪ nl_wo ∪ nl_rw == cpIterSet, pairwise disjoint.
-        let u = s
-            .local
-            .union(&s.nl_ro)
-            .union(&s.nl_wo)
-            .union(&s.nl_rw);
+        let u = s.local.union(&s.nl_ro).union(&s.nl_wo).union(&s.nl_rw);
         assert!(u.equal(&mine));
         assert!(s.local.intersection(&s.nl_ro).as_relation().is_empty());
         assert!(s.local.intersection(&s.nl_rw).as_relation().is_empty());

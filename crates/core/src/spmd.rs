@@ -4,7 +4,7 @@
 
 use crate::comm::{comm_sets, CommRef};
 use crate::cp::{cp_map_at_level, myid_set, proc_rank_of, slice_context};
-use crate::dependence::placement_level;
+use crate::dependence::placement_level_in;
 use crate::inplace::{contiguity, Contiguity};
 use crate::ir::{collect_in, ArrayRef, Reduction, StmtInfo};
 use crate::layout::{Layout, ProcCoord};
@@ -210,6 +210,9 @@ pub(crate) struct Synth<'a> {
     events: Vec<CommEvent>,
     stats: SpmdStats,
     timers: Option<&'a mut crate::phases::PhaseTimers>,
+    /// The Omega context the layouts carry (if any): attached to every
+    /// root set built during synthesis so all derived operations share it.
+    octx: Option<dhpf_omega::Context>,
 }
 
 impl Synth<'_> {
@@ -238,6 +241,7 @@ pub fn build_spmd(
     opts: &SpmdOptions,
     timers: Option<&mut crate::phases::PhaseTimers>,
 ) -> Result<(SpmdProgram, SpmdStats), CompileError> {
+    let octx = layouts.values().find_map(|l| l.rel.context().cloned());
     let mut synth = Synth {
         analysis,
         layouts,
@@ -245,6 +249,7 @@ pub fn build_spmd(
         events: Vec::new(),
         stats: SpmdStats::default(),
         timers,
+        octx,
     };
     let items = build_items(&mut synth, &analysis.unit.body)?;
     // Processor grid: from the distributed layouts (all share one arrangement).
@@ -432,8 +437,7 @@ fn flush_nest(
 fn reads_distributed_array(synth: &Synth, e: &Expr) -> bool {
     match e {
         Expr::Ref(name, args) => {
-            (synth.analysis.is_array(name)
-                && !synth.layouts[name].replicated)
+            (synth.analysis.is_array(name) && !synth.layouts[name].replicated)
                 || args.iter().any(|a| reads_distributed_array(synth, a))
         }
         Expr::Bin(_, a, b) => {
@@ -491,7 +495,9 @@ fn var_in_distributed_subscript(synth: &Synth, var: &str, body: &[Stmt]) -> bool
         }
     }
     body.iter().any(|s| match &s.kind {
-        StmtKind::Assign { name, subs, rhs, .. } => {
+        StmtKind::Assign {
+            name, subs, rhs, ..
+        } => {
             let lhs_hit = synth.analysis.is_array(name)
                 && !synth.layouts[name].replicated
                 && subs.iter().any(|a| mentions_var(a, var));
@@ -565,9 +571,7 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
             // Owner-computes self-reference: a read identical to the sole
             // ON_HOME term is local by definition (the paper's "early
             // phases identify potentially non-local references").
-            if s.on_home.len() == 1
-                && s.on_home[0].array == r.array
-                && s.on_home[0].subs == r.subs
+            if s.on_home.len() == 1 && s.on_home[0].array == r.array && s.on_home[0].subs == r.subs
             {
                 continue;
             }
@@ -576,8 +580,8 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
                 .filter(|(wk, w)| stmts[*wk].ctx.vars == s.ctx.vars && w.array == r.array)
                 .map(|(_, w)| w)
                 .collect();
-            let mut level = synth.time("communication placement", |_| {
-                placement_level(r, &same_ctx_writes, &s.ctx)
+            let mut level = synth.time("communication placement", |sy| {
+                placement_level_in(r, &same_ctx_writes, &s.ctx, sy.octx.as_ref())
             });
             // Cross-context writes to the same array force conservative
             // placement inside the whole nest for safety.
@@ -613,9 +617,10 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
         if let Some(l) = &s.lhs {
             let layout = &synth.layouts[&l.array];
             if !layout.replicated && !s.on_home.is_empty() {
-                let owner_differs = s.on_home.iter().any(|oh| {
-                    oh.array != l.array || oh.subs != l.subs
-                });
+                let owner_differs = s
+                    .on_home
+                    .iter()
+                    .any(|oh| oh.array != l.array || oh.subs != l.subs);
                 if owner_differs {
                     let (cp, _) = cp_map_at_level(s, synth.layouts, 0);
                     let rm = l.ref_map(&s.ctx);
@@ -695,14 +700,19 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
         let ctx = &stmts[consumer_stmt_idx].ctx;
         // All data of this array written anywhere in the nest.
         let mut written = Set::empty(layout.rel.n_out());
+        written.set_context(layout.rel.context());
         for (wk, w) in &writes {
             if w.array == plan.array {
-                written = written
-                    .union(&w.ref_map(&stmts[*wk].ctx).apply(&stmts[*wk].ctx.iteration_set()));
+                written = written.union(
+                    &w.ref_map(&stmts[*wk].ctx)
+                        .apply(&stmts[*wk].ctx.iteration_set()),
+                );
             }
         }
         written.simplify();
-        let unwritten = array_index_set(synth.analysis, &plan.array).subtract(&written);
+        let mut all_indices = array_index_set(synth.analysis, &plan.array);
+        all_indices.set_context(layout.rel.context());
+        let unwritten = all_indices.subtract(&written);
         // Fully-vectorized maps for this plan's own references (no
         // consumer-iteration parameters): they drive the producer-side
         // send schedule.
@@ -737,6 +747,7 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
         // data only); send what this iteration just produced and someone
         // else will consume.
         let mut w_cur = Set::empty(layout.rel.n_out());
+        w_cur.set_context(layout.rel.context());
         for (wk, w) in &writes {
             if w.array != plan.array || stmts[*wk].ctx.vars != ctx.vars {
                 continue;
@@ -782,7 +793,8 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
                 writes.iter().all(|(wk, w)| {
                     w.array != r.array
                         || stmts[*wk].ctx.vars != s.ctx.vars
-                        || crate::dependence::carried_level(w, r, &s.ctx).is_none()
+                        || crate::dependence::carried_level_in(w, r, &s.ctx, synth.octx.as_ref())
+                            .is_none()
                 })
             })
         })
@@ -832,8 +844,7 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
                     .collect::<Vec<_>>()
             })
             .collect();
-        let read_pairs: Vec<(&CommRef, &Layout)> =
-            reads_l.iter().map(|(c, l)| (c, *l)).collect();
+        let read_pairs: Vec<(&CommRef, &Layout)> = reads_l.iter().map(|(c, l)| (c, *l)).collect();
         let sections = synth.time("loop splitting", |_| split_sets(&mine, &read_pairs, &[]));
         // SEND; compute local; RECV; compute non-local (Figure 4(b) without
         // non-local writes).
@@ -864,10 +875,7 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
             codegen(&mappings, &names, &opts)
         };
         let local_code = synth.time("mult mappings code generation", |_| gen(&sections.local))?;
-        let nl = sections
-            .nl_ro
-            .union(&sections.nl_wo)
-            .union(&sections.nl_rw);
+        let nl = sections.nl_ro.union(&sections.nl_wo).union(&sections.nl_rw);
         let nl_code = synth.time("mult mappings code generation", |_| gen(&nl))?;
         for &ev in &level0_reads {
             let op = ops.len();
@@ -1072,6 +1080,7 @@ pub fn rel_to_set(rel: &Relation) -> Set {
     let n_in = rel.n_in();
     let n_out = rel.n_out();
     let mut out = Relation::universe(n_in + n_out, 0);
+    out.set_context(rel.context());
     for p in rel.params() {
         out.ensure_param(p);
     }

@@ -25,11 +25,7 @@ pub struct ActiveVpSets {
 ///
 /// `reads` and `writes` are the event's references (as in
 /// [`comm_sets`](crate::comm::comm_sets)); `layout` the referenced array's.
-pub fn active_vp_sets(
-    reads: &[CommRef],
-    writes: &[CommRef],
-    layout: &Layout,
-) -> ActiveVpSets {
+pub fn active_vp_sets(reads: &[CommRef], writes: &[CommRef], layout: &Layout) -> ActiveVpSets {
     let proc_rank = layout.proc_rank();
     // busyVPSet = ∪ Domain(CPMap_r).
     let mut busy = Set::empty(proc_rank);
@@ -105,10 +101,7 @@ end
     /// Builds the Figure 5 inputs manually with the guard folded into the
     /// loop bounds (our IF statements don't constrain iteration sets).
     fn gauss_sets() -> ActiveVpSets {
-        let src = GAUSS.replace(
-            "do i = 1, 100",
-            "do i = pivot + 1, 100",
-        );
+        let src = GAUSS.replace("do i = 1, 100", "do i = pivot + 1, 100");
         let src = src.replace("do j = 1, 100", "do j = pivot + 1, 100");
         let src = src.replace("if (i > pivot .and. j > pivot) then", "if (i > 0) then");
         let prog = parse(&src).unwrap();

@@ -101,7 +101,8 @@ fn lex_code_line(
             i = j;
             continue;
         }
-        if c.is_ascii_digit() || (c == '.' && i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit())
+        if c.is_ascii_digit()
+            || (c == '.' && i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit())
         {
             let mut j = i;
             let mut is_real = false;
@@ -111,9 +112,11 @@ fn lex_code_line(
             // Decimal part (but not `..` or `.and.`).
             if j < b.len() && b[j] == b'.' {
                 let rest = &line[j + 1..];
-                let dotted_op = ["and.", "or.", "not.", "lt.", "le.", "gt.", "ge.", "eq.", "ne."]
-                    .iter()
-                    .any(|k| rest.to_ascii_lowercase().starts_with(k));
+                let dotted_op = [
+                    "and.", "or.", "not.", "lt.", "le.", "gt.", "ge.", "eq.", "ne.",
+                ]
+                .iter()
+                .any(|k| rest.to_ascii_lowercase().starts_with(k));
                 if !dotted_op {
                     is_real = true;
                     j += 1;

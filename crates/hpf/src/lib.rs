@@ -41,6 +41,9 @@ pub mod unparse;
 pub use ast::*;
 pub use error::HpfError;
 pub use parser::{parse, parse_directive};
-pub use sema::{analyze, Affine, AlignInfo, AlignMap, Analysis, ArrayInfo, DistInfo, ProcDim, ProcInfo, ScalarInfo, ScalarKind, TemplateInfo};
+pub use sema::{
+    analyze, Affine, AlignInfo, AlignMap, Analysis, ArrayInfo, DistInfo, ProcDim, ProcInfo,
+    ScalarInfo, ScalarKind, TemplateInfo,
+};
 pub use token::Span;
 pub use unparse::{expr_str, unparse, unparse_unit};

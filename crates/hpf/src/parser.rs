@@ -120,7 +120,10 @@ impl Parser {
         let span = self.span();
         match self.bump() {
             Tok::Ident(s) => Ok(s),
-            t => Err(HpfError::parse(span, format!("expected identifier, found '{t}'"))),
+            t => Err(HpfError::parse(
+                span,
+                format!("expected identifier, found '{t}'"),
+            )),
         }
     }
 
@@ -580,7 +583,10 @@ impl Parser {
                     Ok(Expr::Var(name))
                 }
             }
-            t => Err(HpfError::parse(span, format!("unexpected '{t}' in expression"))),
+            t => Err(HpfError::parse(
+                span,
+                format!("unexpected '{t}' in expression"),
+            )),
         }
     }
 }
@@ -738,7 +744,10 @@ pub fn parse_directive(body: &str, span: Span) -> Result<Directive, HpfError> {
             Directive::OnHome { refs }
         }
         other => {
-            return Err(HpfError::parse(span, format!("unknown directive '{other}'")));
+            return Err(HpfError::parse(
+                span,
+                format!("unknown directive '{other}'"),
+            ));
         }
     };
     Ok(d)

@@ -70,8 +70,19 @@ impl Affine {
 
 /// Intrinsic function names recognized in expressions.
 pub const INTRINSICS: &[&str] = &[
-    "abs", "max", "min", "sqrt", "mod", "float", "dble", "real", "int",
-    "number_of_processors", "exp", "log", "sign",
+    "abs",
+    "max",
+    "min",
+    "sqrt",
+    "mod",
+    "float",
+    "dble",
+    "real",
+    "int",
+    "number_of_processors",
+    "exp",
+    "log",
+    "sign",
 ];
 
 /// Information about a declared array.
@@ -209,10 +220,7 @@ impl Analysis {
                 Some(Affine::constant(0).add_scaled(&a, -1))
             }
             Expr::Bin(op, a, b) => {
-                let (fa, fb) = (
-                    self.affine_of(a, loop_vars),
-                    self.affine_of(b, loop_vars),
-                );
+                let (fa, fb) = (self.affine_of(a, loop_vars), self.affine_of(b, loop_vars));
                 match op {
                     BinOp::Add => Some(fa?.add_scaled(&fb?, 1)),
                     BinOp::Sub => Some(fa?.add_scaled(&fb?, -1)),
@@ -220,10 +228,9 @@ impl Analysis {
                         let (fa, fb) = (fa?, fb?);
                         if let Some(k) = fa.as_const() {
                             Some(Affine::constant(0).add_scaled(&fb, k))
-                        } else if let Some(k) = fb.as_const() {
-                            Some(Affine::constant(0).add_scaled(&fa, k))
                         } else {
-                            None
+                            fb.as_const()
+                                .map(|k| Affine::constant(0).add_scaled(&fa, k))
                         }
                     }
                     BinOp::Div => {
@@ -287,17 +294,14 @@ pub fn analyze(unit: &Unit) -> Result<Analysis, HpfError> {
                 } else {
                     ScalarKind::Local
                 };
-                a.scalars.insert(
-                    e.name.clone(),
-                    ScalarInfo { ty: d.ty, kind },
-                );
+                a.scalars
+                    .insert(e.name.clone(), ScalarInfo { ty: d.ty, kind });
             } else {
                 let mut dims = Vec::new();
                 for (lb, ub) in &e.dims {
                     let lo = match lb {
-                        Some(e) => affine_spec(e, &consts, &symbolic).ok_or_else(|| {
-                            HpfError::sema(span, "array bound is not affine")
-                        })?,
+                        Some(e) => affine_spec(e, &consts, &symbolic)
+                            .ok_or_else(|| HpfError::sema(span, "array bound is not affine"))?,
                         None => Affine::constant(1),
                     };
                     let hi = affine_spec(ub, &consts, &symbolic)
@@ -421,7 +425,10 @@ pub fn analyze(unit: &Unit) -> Result<Analysis, HpfError> {
             let p = a.procs.get(&dist.onto).ok_or_else(|| {
                 HpfError::sema(
                     span,
-                    format!("template '{tname}' distributed onto unknown '{}'", dist.onto),
+                    format!(
+                        "template '{tname}' distributed onto unknown '{}'",
+                        dist.onto
+                    ),
                 )
             })?;
             let dist_dims = dist
@@ -482,11 +489,7 @@ fn fold_const(e: &Expr, consts: &BTreeMap<String, i64>) -> Option<i64> {
 }
 
 /// Affine form of a specification expression over symbolic scalars only.
-fn affine_spec(
-    e: &Expr,
-    consts: &BTreeMap<String, i64>,
-    symbolic: &[String],
-) -> Option<Affine> {
+fn affine_spec(e: &Expr, consts: &BTreeMap<String, i64>, symbolic: &[String]) -> Option<Affine> {
     match e {
         Expr::Int(v) => Some(Affine::constant(*v)),
         Expr::Var(n) => {

@@ -49,9 +49,7 @@ fn distribute_arity_mismatch() {
 
 #[test]
 fn align_of_undeclared_array() {
-    let e = err_of(
-        "program p\n!HPF$ template t(10)\n!HPF$ align z(i) with t(i)\nx = 1\nend\n",
-    );
+    let e = err_of("program p\n!HPF$ template t(10)\n!HPF$ align z(i) with t(i)\nx = 1\nend\n");
     assert!(e.contains("undeclared"), "{e}");
 }
 
@@ -65,19 +63,17 @@ fn cyclic_k_requires_constant() {
 
 #[test]
 fn case_insensitivity_and_continuations() {
-    let prog = parse(
-        "PROGRAM Mixed\nREAL A(10)\nDO I = 1, &\n   10\n  A(I) = I * 1.0\nENDDO\nEND\n",
-    )
-    .unwrap();
+    let prog =
+        parse("PROGRAM Mixed\nREAL A(10)\nDO I = 1, &\n   10\n  A(I) = I * 1.0\nENDDO\nEND\n")
+            .unwrap();
     assert_eq!(prog.units[0].name, "mixed");
 }
 
 #[test]
 fn end_do_and_end_if_spellings() {
-    let prog = parse(
-        "program p\ndo i = 1, 3\n  if (i > 1) then\n    x = i\n  end if\nend do\nend\n",
-    )
-    .unwrap();
+    let prog =
+        parse("program p\ndo i = 1, 3\n  if (i > 1) then\n    x = i\n  end if\nend do\nend\n")
+            .unwrap();
     assert_eq!(prog.units[0].body.len(), 1);
 }
 
@@ -92,10 +88,9 @@ fn one_line_if() {
 
 #[test]
 fn multiple_units() {
-    let prog = parse(
-        "program main\nx = 1\nend\nsubroutine helper(a, b)\nreal a(10)\na(1) = b\nend\n",
-    )
-    .unwrap();
+    let prog =
+        parse("program main\nx = 1\nend\nsubroutine helper(a, b)\nreal a(10)\na(1) = b\nend\n")
+            .unwrap();
     assert_eq!(prog.units.len(), 2);
     assert!(!prog.units[1].is_program);
     assert_eq!(prog.units[1].args, vec!["a".to_string(), "b".to_string()]);

@@ -67,6 +67,18 @@ impl Conjunct {
         &self.geqs
     }
 
+    /// A canonical copy for hash-consing: constraints sorted and
+    /// deduplicated, so conjuncts that differ only in constraint order or
+    /// repetition share one interned identity (and one memo-cache entry).
+    pub fn canonical(&self) -> Conjunct {
+        let mut c = self.clone();
+        c.eqs.sort_unstable();
+        c.eqs.dedup();
+        c.geqs.sort_unstable();
+        c.geqs.dedup();
+        c
+    }
+
     /// Adds the constraint `e = 0`.
     pub fn add_eq(&mut self, e: LinExpr) {
         self.note_exists(&e);
@@ -116,7 +128,10 @@ impl Conjunct {
 
     /// All non-existential variables mentioned by the constraints.
     pub fn free_vars(&self) -> BTreeSet<Var> {
-        self.all_vars().into_iter().filter(|v| !v.is_exist()).collect()
+        self.all_vars()
+            .into_iter()
+            .filter(|v| !v.is_exist())
+            .collect()
     }
 
     /// All variables (including existentials) mentioned by the constraints.
@@ -130,10 +145,7 @@ impl Conjunct {
 
     /// Returns `true` if `v` occurs in any constraint.
     pub fn mentions(&self, v: Var) -> bool {
-        self.eqs
-            .iter()
-            .chain(&self.geqs)
-            .any(|e| e.coeff(v) != 0)
+        self.eqs.iter().chain(&self.geqs).any(|e| e.coeff(v) != 0)
     }
 
     /// Renames all variables through `f` (must be injective).
@@ -292,6 +304,21 @@ impl Conjunct {
     /// This is the Omega test: equality elimination with coefficient
     /// reduction, then Fourier–Motzkin with dark shadow and splinters.
     pub fn is_satisfiable(&self) -> bool {
+        self.is_satisfiable_in(None)
+    }
+
+    /// [`is_satisfiable`](Self::is_satisfiable) with an optional shared
+    /// [`Context`]: the result is memoized per distinct conjunct structure,
+    /// and the eliminations performed along the way share the context's
+    /// projection cache.
+    pub fn is_satisfiable_in(&self, ctx: Option<&crate::Context>) -> bool {
+        match ctx {
+            Some(cx) => cx.cached_sat(self, || self.sat_uncached(ctx)),
+            None => self.sat_uncached(None),
+        }
+    }
+
+    fn sat_uncached(&self, ctx: Option<&crate::Context>) -> bool {
         let mut work = vec![self.clone()];
         let mut fuel: u64 = 200_000;
         while let Some(mut c) = work.pop() {
@@ -319,7 +346,7 @@ impl Conjunct {
                     work.push(c);
                 }
                 SatStep::Fme(v) => {
-                    work.extend(c.eliminate_exact(v));
+                    work.extend(c.eliminate_exact_in(v, ctx));
                 }
             }
         }
@@ -339,11 +366,7 @@ impl Conjunct {
         // Then reduce any equality with variables (Pugh's symmetric-modulus
         // step; coefficients shrink until a unit appears).
         for (i, e) in self.eqs.iter().enumerate() {
-            if let Some(v) = e
-                .terms()
-                .min_by_key(|&(_, c)| c.abs())
-                .map(|(v, _)| v)
-            {
+            if let Some(v) = e.terms().min_by_key(|&(_, c)| c.abs()).map(|(v, _)| v) {
                 return SatStep::ModhatReduce(i, v);
             }
         }
@@ -400,6 +423,19 @@ impl Conjunct {
     /// with `v` removed. Tuple/parameter variables eliminated through
     /// congruences are replaced by fresh existentials.
     pub fn eliminate_exact(&self, v: Var) -> Vec<Conjunct> {
+        self.eliminate_exact_in(v, None)
+    }
+
+    /// [`eliminate_exact`](Self::eliminate_exact) with an optional shared
+    /// [`Context`] memoizing the projection per `(conjunct, var)` pair.
+    pub fn eliminate_exact_in(&self, v: Var, ctx: Option<&crate::Context>) -> Vec<Conjunct> {
+        match ctx {
+            Some(cx) => cx.cached_eliminate(self, v, || self.eliminate_uncached(v, ctx)),
+            None => self.eliminate_uncached(v, None),
+        }
+    }
+
+    fn eliminate_uncached(&self, v: Var, ctx: Option<&crate::Context>) -> Vec<Conjunct> {
         let mut c = self.clone();
         if c.normalize() == Normalized::False {
             return Vec::new();
@@ -411,7 +447,7 @@ impl Conjunct {
         if let Some(idx) = c.best_eq_for(v) {
             return c.eliminate_via_eq(idx, v);
         }
-        c.eliminate_via_fme(v)
+        c.eliminate_via_fme(v, ctx)
     }
 
     /// Index of the equality in which `v` has the smallest nonzero |coeff|.
@@ -493,7 +529,7 @@ impl Conjunct {
 
     /// Eliminates `v` (appearing only in inequalities) exactly:
     /// dark shadow plus splinters.
-    fn eliminate_via_fme(mut self, v: Var) -> Vec<Conjunct> {
+    fn eliminate_via_fme(mut self, v: Var, ctx: Option<&crate::Context>) -> Vec<Conjunct> {
         let mut lowers = Vec::new(); // (a, L): a*v + L >= 0 with a > 0
         let mut uppers = Vec::new(); // (b, U): -b*v + U >= 0 with b > 0
         let mut others = Vec::new();
@@ -580,7 +616,7 @@ impl Conjunct {
                 pin.add_constant(-i);
                 s.add_eq(pin);
                 // Recurse: the pinned equality eliminates v exactly.
-                results.extend(s.eliminate_exact(v));
+                results.extend(s.eliminate_exact_in(v, ctx));
             }
         }
         results
@@ -589,26 +625,45 @@ impl Conjunct {
     /// Returns `true` if this conjunct, conjoined with `context`, is
     /// unsatisfiable.
     pub fn is_empty_given(&self, context: &Conjunct) -> bool {
+        self.is_empty_given_in(context, None)
+    }
+
+    /// [`is_empty_given`](Self::is_empty_given) threading an optional shared
+    /// [`Context`] through the satisfiability test.
+    pub fn is_empty_given_in(&self, context: &Conjunct, ctx: Option<&crate::Context>) -> bool {
         let mut c = self.clone();
         c.merge(context);
-        !c.is_satisfiable()
+        !c.is_satisfiable_in(ctx)
     }
 
     /// Removes constraints that are implied by `context` (the *gist*
     /// operation): the result, conjoined with `context`, equals
     /// `self ∧ context`.
     pub fn gist_given(&self, context: &Conjunct) -> Conjunct {
+        self.gist_given_in(context, None)
+    }
+
+    /// [`gist_given`](Self::gist_given) with an optional shared [`Context`]
+    /// memoizing the result per `(self, context)` pair.
+    pub fn gist_given_in(&self, context: &Conjunct, ctx: Option<&crate::Context>) -> Conjunct {
+        match ctx {
+            Some(cx) => cx.cached_gist(self, context, || self.gist_uncached(context, ctx)),
+            None => self.gist_uncached(context, None),
+        }
+    }
+
+    fn gist_uncached(&self, context: &Conjunct, ctx: Option<&crate::Context>) -> Conjunct {
         let mut out = Conjunct::new();
         out.n_exist = self.n_exist;
         for e in &self.eqs {
             // e = 0 implied iff both e >= 0 and -e >= 0 are implied.
-            if implied_by(context, self, e, true) {
+            if implied_by(context, self, e, true, ctx) {
                 continue;
             }
             out.eqs.push(e.clone());
         }
         for e in &self.geqs {
-            if implied_by(context, self, e, false) {
+            if implied_by(context, self, e, false, ctx) {
                 continue;
             }
             out.geqs.push(e.clone());
@@ -619,6 +674,12 @@ impl Conjunct {
     /// Removes inequalities implied by the *other* constraints of this
     /// conjunct (redundancy elimination).
     pub fn remove_redundant(&mut self) {
+        self.remove_redundant_in(None)
+    }
+
+    /// [`remove_redundant`](Self::remove_redundant) threading an optional
+    /// shared [`Context`] through the implied-constraint tests.
+    pub fn remove_redundant_in(&mut self, ctx: Option<&crate::Context>) {
         let mut i = 0;
         while i < self.geqs.len() {
             // geqs[i] is redundant iff (rest ∧ geqs[i] <= -1) is unsat.
@@ -627,7 +688,7 @@ impl Conjunct {
             let mut neg = e.negated();
             neg.add_constant(-1);
             test.add_geq(neg);
-            if !test.is_satisfiable() {
+            if !test.is_satisfiable_in(ctx) {
                 self.geqs.remove(i);
             } else {
                 i += 1;
@@ -638,21 +699,37 @@ impl Conjunct {
     /// Evaluates membership of a full assignment of the *free* variables:
     /// substitutes and decides the remaining existential system exactly.
     pub fn contains<F: Fn(Var) -> Option<i64>>(&self, lookup: F) -> bool {
+        self.contains_in(lookup, None)
+    }
+
+    /// [`contains`](Self::contains) threading an optional shared [`Context`]
+    /// through the final satisfiability decision.
+    pub fn contains_in<F: Fn(Var) -> Option<i64>>(
+        &self,
+        lookup: F,
+        ctx: Option<&crate::Context>,
+    ) -> bool {
         let bound = self.bind(|v| if v.is_exist() { None } else { lookup(v) });
-        bound.is_satisfiable()
+        bound.is_satisfiable_in(ctx)
     }
 }
 
 /// `true` if constraint `e` (eq if `as_eq`) is implied by `context` within
 /// the world of `subject`'s remaining constraints.
-fn implied_by(context: &Conjunct, _subject: &Conjunct, e: &LinExpr, as_eq: bool) -> bool {
+fn implied_by(
+    context: &Conjunct,
+    _subject: &Conjunct,
+    e: &LinExpr,
+    as_eq: bool,
+    ctx: Option<&crate::Context>,
+) -> bool {
     // e >= 0 implied by context  iff  context ∧ (e <= -1) unsat.
     let implied_geq = |expr: &LinExpr| {
         let mut test = context.clone();
         let mut neg = expr.negated();
         neg.add_constant(-1);
         test.add_geq(neg);
-        !test.is_satisfiable()
+        !test.is_satisfiable_in(ctx)
     };
     if as_eq {
         implied_geq(e) && implied_geq(&e.negated())
@@ -688,10 +765,7 @@ fn modhat(a: i64, m: i64) -> i64 {
 
 /// Divides an equality by `g` exactly.
 fn exact_div(e: &LinExpr, g: i64) -> LinExpr {
-    LinExpr::from_terms(
-        e.terms().map(|(v, c)| (v, c / g)),
-        e.constant_term() / g,
-    )
+    LinExpr::from_terms(e.terms().map(|(v, c)| (v, c / g)), e.constant_term() / g)
 }
 
 /// Divides an inequality `e >= 0` by the coefficient gcd `g`, tightening the

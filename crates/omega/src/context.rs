@@ -1,0 +1,615 @@
+//! A shared Omega [`Context`]: hash-consing arena + memoization caches.
+//!
+//! The dHPF equation pipeline (Fig. 3 communication sets, Fig. 4 loop
+//! splitting, Fig. 5 active virtual processors) re-derives the same layout
+//! and iteration-space conjuncts at every statement group, so the expensive
+//! per-conjunct operations — integer satisfiability, Fourier–Motzkin
+//! projection, exact negation, gist — are recomputed many times over
+//! structurally identical inputs. A `Context` hash-conses [`Conjunct`]s
+//! (and [`LinExpr`]s) into interned ids and memoizes those operations in
+//! per-operation caches keyed by the interned ids, with hit/miss/eviction
+//! counters that the compiler driver surfaces next to its Table-1 phase
+//! timers.
+//!
+//! A `Context` is an `Arc`-shared handle: cloning it is cheap and all
+//! clones share one arena. Attach it to root relations (layouts, parsed
+//! sets, iteration spaces) with [`Relation::with_context`]; every derived
+//! relation inherits the context through the set operations.
+//!
+//! ```
+//! use dhpf_omega::Context;
+//!
+//! let ctx = Context::new();
+//! let layout = ctx.parse_relation("{[p] -> [a] : 25p+1 <= a <= 25p+25 && 0 <= p <= 3}")?;
+//! let iters = ctx.parse_set("{[i] : 1 <= i <= N}")?;
+//! let owned = layout.apply(&iters); // cached ops record hits/misses
+//! assert!(!owned.is_empty());
+//! assert!(ctx.stats().total_misses() > 0);
+//! # Ok::<(), dhpf_omega::OmegaError>(())
+//! ```
+
+use crate::builder::{RelationBuilder, SetBuilder};
+use crate::conjunct::Conjunct;
+use crate::linexpr::LinExpr;
+use crate::relation::Relation;
+use crate::set::Set;
+use crate::var::Var;
+use crate::OmegaError;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Maximum entries per memo table before it is flushed (counted as
+/// evictions). Keeps long compilations bounded; one compilation of the
+/// paper's benchmarks stays under this (SP-sym's FME table peaks at
+/// ~150k entries, so the cap must exceed that or the warm cache is
+/// dumped mid-compilation).
+const CACHE_CAP: usize = 1 << 19;
+
+/// Interned id of a hash-consed conjunct (or expression).
+type Id = u32;
+
+/// Hit/miss/eviction counters for one memoized operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the real computation.
+    pub misses: u64,
+    /// Entries discarded when the table hit its capacity bound.
+    pub evictions: u64,
+}
+
+impl OpCounts {
+    fn add(&mut self, other: &OpCounts) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+}
+
+/// A snapshot of a context's cache effectiveness, reported by
+/// [`Context::stats`] and surfaced through the compiler's `CompileReport`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Conjunct satisfiability tests (the hottest operation: emptiness,
+    /// subset, redundancy and gist checks all bottom out here).
+    pub sat: OpCounts,
+    /// Exact existential/variable elimination (FME projection).
+    pub eliminate: OpCounts,
+    /// Exact conjunct negation (difference/subset tests).
+    pub negate: OpCounts,
+    /// Gist (constraint simplification relative to a known context).
+    pub gist: OpCounts,
+    /// Relation-level `simplify` (keyed by the interned conjunct list).
+    pub simplify: OpCounts,
+    /// Distinct conjuncts hash-consed into the arena.
+    pub interned_conjuncts: u64,
+    /// Distinct linear expressions hash-consed into the arena.
+    pub interned_exprs: u64,
+}
+
+impl CacheStats {
+    /// Sum of hits across every operation cache.
+    pub fn total_hits(&self) -> u64 {
+        self.sat.hits + self.eliminate.hits + self.negate.hits + self.gist.hits + self.simplify.hits
+    }
+
+    /// Sum of misses across every operation cache.
+    pub fn total_misses(&self) -> u64 {
+        self.sat.misses
+            + self.eliminate.misses
+            + self.negate.misses
+            + self.gist.misses
+            + self.simplify.misses
+    }
+
+    /// Sum of evictions across every operation cache.
+    pub fn total_evictions(&self) -> u64 {
+        self.sat.evictions
+            + self.eliminate.evictions
+            + self.negate.evictions
+            + self.gist.evictions
+            + self.simplify.evictions
+    }
+
+    /// Overall hit rate in `0.0..=1.0` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total_hits() + self.total_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_hits() as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another snapshot into this one (used when a compilation
+    /// aggregates per-unit contexts).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.sat.add(&other.sat);
+        self.eliminate.add(&other.eliminate);
+        self.negate.add(&other.negate);
+        self.gist.add(&other.gist);
+        self.simplify.add(&other.simplify);
+        self.interned_conjuncts += other.interned_conjuncts;
+        self.interned_exprs += other.interned_exprs;
+    }
+
+    /// `(name, counts)` rows in a stable order, for table rendering.
+    pub fn rows(&self) -> [(&'static str, OpCounts); 5] {
+        [
+            ("satisfiability", self.sat),
+            ("fme projection", self.eliminate),
+            ("negation", self.negate),
+            ("gist", self.gist),
+            ("simplify", self.simplify),
+        ]
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache: {} hits / {} misses ({:.1}% hit rate), {} evictions, {} conjuncts interned",
+            self.total_hits(),
+            self.total_misses(),
+            100.0 * self.hit_rate(),
+            self.total_evictions(),
+            self.interned_conjuncts,
+        )
+    }
+}
+
+#[derive(Default)]
+struct AtomicCounts {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl AtomicCounts {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+    fn evict(&self, n: u64) {
+        self.evictions.fetch_add(n, Ordering::Relaxed);
+    }
+    fn snapshot(&self) -> OpCounts {
+        OpCounts {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+    fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The mutable arena: interners plus one memo table per operation.
+#[derive(Default)]
+struct Arena {
+    /// Hash-consed conjuncts: structural value → id. The id is the key of
+    /// every per-conjunct memo table, so a conjunct is hashed in full at
+    /// most once per distinct structure.
+    conjuncts: HashMap<Conjunct, Id>,
+    /// Hash-consed linear expressions (used by the builder API).
+    exprs: HashMap<LinExpr, Id>,
+    sat: HashMap<Id, bool>,
+    eliminate: HashMap<(Id, Var), Vec<Conjunct>>,
+    negate: HashMap<Id, Result<Vec<Conjunct>, OmegaError>>,
+    gist: HashMap<(Id, Id), Conjunct>,
+    simplify: HashMap<Vec<Id>, Vec<Conjunct>>,
+}
+
+struct Inner {
+    enabled: AtomicBool,
+    arena: Mutex<Arena>,
+    sat: AtomicCounts,
+    eliminate: AtomicCounts,
+    negate: AtomicCounts,
+    gist: AtomicCounts,
+    simplify: AtomicCounts,
+}
+
+/// A shared hash-consing + memoization context for Omega operations.
+///
+/// See the [module documentation](self) for the design; in short: create
+/// one per compilation, attach it to root sets/relations, and every
+/// derived operation reuses previously computed satisfiability tests,
+/// projections, negations, gists and simplifications.
+#[derive(Clone)]
+pub struct Context {
+    inner: Arc<Inner>,
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Context::new()
+    }
+}
+
+impl fmt::Debug for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("enabled", &self.is_enabled())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Context {
+    /// A fresh context with caching enabled.
+    pub fn new() -> Self {
+        Context {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(true),
+                arena: Mutex::new(Arena::default()),
+                sat: AtomicCounts::default(),
+                eliminate: AtomicCounts::default(),
+                negate: AtomicCounts::default(),
+                gist: AtomicCounts::default(),
+                simplify: AtomicCounts::default(),
+            }),
+        }
+    }
+
+    /// A context with caching disabled: operations behave exactly as with
+    /// no context at all. Used by the `--no-cache` ablation.
+    pub fn disabled() -> Self {
+        let ctx = Context::new();
+        ctx.set_enabled(false);
+        ctx
+    }
+
+    /// Enables or disables memoization at runtime (existing entries are
+    /// kept but not consulted while disabled).
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// True if lookups consult the memo tables.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// True if `self` and `other` share one arena.
+    pub fn same_as(&self, other: &Context) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        let arena = self.inner.arena.lock().unwrap();
+        CacheStats {
+            sat: self.inner.sat.snapshot(),
+            eliminate: self.inner.eliminate.snapshot(),
+            negate: self.inner.negate.snapshot(),
+            gist: self.inner.gist.snapshot(),
+            simplify: self.inner.simplify.snapshot(),
+            interned_conjuncts: arena.conjuncts.len() as u64,
+            interned_exprs: arena.exprs.len() as u64,
+        }
+    }
+
+    /// Resets the hit/miss/eviction counters (the interned arena is kept).
+    pub fn reset_stats(&self) {
+        self.inner.sat.reset();
+        self.inner.eliminate.reset();
+        self.inner.negate.reset();
+        self.inner.gist.reset();
+        self.inner.simplify.reset();
+    }
+
+    // ------------------------------------------------------------------
+    // Construction entry points
+    // ------------------------------------------------------------------
+
+    /// Parses a relation in Omega syntax and attaches this context.
+    ///
+    /// This is the non-panicking replacement for the `FromStr` entry
+    /// points: every failure (syntax, arity, coefficient overflow) is an
+    /// [`OmegaError`] carrying the source offset.
+    pub fn parse_relation(&self, input: &str) -> Result<Relation, OmegaError> {
+        let rel = crate::parse::parse_relation(input)?;
+        Ok(rel.with_context(self))
+    }
+
+    /// Parses a set in Omega syntax and attaches this context.
+    pub fn parse_set(&self, input: &str) -> Result<Set, OmegaError> {
+        let rel = self.parse_relation(input)?;
+        if rel.n_out() != 0 {
+            return Err(OmegaError::Parse(crate::parse::ParseError::expected_set()));
+        }
+        Ok(Set::from_relation(rel))
+    }
+
+    /// The universe set of the given arity, attached to this context.
+    pub fn universe_set(&self, arity: u32) -> Set {
+        Set::from_relation(Relation::universe(arity, 0).with_context(self))
+    }
+
+    /// The empty set of the given arity, attached to this context.
+    pub fn empty_set(&self, arity: u32) -> Set {
+        Set::from_relation(Relation::empty(arity, 0).with_context(self))
+    }
+
+    /// The universe relation, attached to this context.
+    pub fn universe_relation(&self, n_in: u32, n_out: u32) -> Relation {
+        Relation::universe(n_in, n_out).with_context(self)
+    }
+
+    /// The empty relation, attached to this context.
+    pub fn empty_relation(&self, n_in: u32, n_out: u32) -> Relation {
+        Relation::empty(n_in, n_out).with_context(self)
+    }
+
+    /// Starts a fluent [`SetBuilder`] for a set of the given arity.
+    pub fn set(&self, arity: u32) -> SetBuilder {
+        SetBuilder::new(self.clone(), arity)
+    }
+
+    /// Starts a fluent [`RelationBuilder`] for a relation.
+    pub fn relation(&self, n_in: u32, n_out: u32) -> RelationBuilder {
+        RelationBuilder::new(self.clone(), n_in, n_out)
+    }
+
+    /// Exact negation of a conjunct, memoized (the `Context`-threaded form
+    /// of the deprecated free function `ops::negate_conjunct`).
+    pub fn negate_conjunct(&self, c: &Conjunct) -> Result<Vec<Conjunct>, OmegaError> {
+        crate::ops::negate_conjunct_in(c, Some(self))
+    }
+
+    /// Stride-form rewrite of a conjunct (the `Context`-threaded form of
+    /// the deprecated free function `ops::to_stride_form`).
+    pub fn to_stride_form(&self, c: Conjunct) -> Result<Vec<Conjunct>, OmegaError> {
+        crate::ops::to_stride_form_in(c, Some(self))
+    }
+
+    // ------------------------------------------------------------------
+    // Interning
+    // ------------------------------------------------------------------
+
+    /// Hash-conses a conjunct, returning its interned id. Conjuncts that
+    /// differ only in constraint order or repetition share one id.
+    pub fn intern_conjunct(&self, c: &Conjunct) -> u32 {
+        let cc = c.canonical();
+        let mut arena = self.inner.arena.lock().unwrap();
+        Self::intern_in(&mut arena.conjuncts, &cc)
+    }
+
+    /// Hash-conses a linear expression, returning its interned id.
+    pub fn intern_expr(&self, e: &LinExpr) -> u32 {
+        let mut arena = self.inner.arena.lock().unwrap();
+        Self::intern_in(&mut arena.exprs, e)
+    }
+
+    fn intern_in<K: Clone + Eq + std::hash::Hash>(map: &mut HashMap<K, Id>, k: &K) -> Id {
+        if let Some(&id) = map.get(k) {
+            return id;
+        }
+        let id = map.len() as Id;
+        map.insert(k.clone(), id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Memoized operations
+    // ------------------------------------------------------------------
+    //
+    // The lock is never held across `compute`: probe, drop the lock, run
+    // the real computation (which may itself recurse into the cache), then
+    // re-lock to insert. Single-threaded compilations never duplicate
+    // work; concurrent ones at worst compute an entry twice.
+
+    pub(crate) fn cached_sat(&self, c: &Conjunct, compute: impl FnOnce() -> bool) -> bool {
+        if !self.is_enabled() {
+            return compute();
+        }
+        let id = {
+            let cc = c.canonical();
+            let mut arena = self.inner.arena.lock().unwrap();
+            let id = Self::intern_in(&mut arena.conjuncts, &cc);
+            if let Some(&v) = arena.sat.get(&id) {
+                self.inner.sat.hit();
+                return v;
+            }
+            id
+        };
+        self.inner.sat.miss();
+        let v = compute();
+        let mut arena = self.inner.arena.lock().unwrap();
+        if arena.sat.len() >= CACHE_CAP {
+            self.inner.sat.evict(arena.sat.len() as u64);
+            arena.sat.clear();
+        }
+        arena.sat.insert(id, v);
+        v
+    }
+
+    pub(crate) fn cached_eliminate(
+        &self,
+        c: &Conjunct,
+        v: Var,
+        compute: impl FnOnce() -> Vec<Conjunct>,
+    ) -> Vec<Conjunct> {
+        if !self.is_enabled() {
+            return compute();
+        }
+        let id = {
+            let cc = c.canonical();
+            let mut arena = self.inner.arena.lock().unwrap();
+            let id = Self::intern_in(&mut arena.conjuncts, &cc);
+            if let Some(r) = arena.eliminate.get(&(id, v)) {
+                self.inner.eliminate.hit();
+                return r.clone();
+            }
+            id
+        };
+        self.inner.eliminate.miss();
+        let r = compute();
+        let mut arena = self.inner.arena.lock().unwrap();
+        if arena.eliminate.len() >= CACHE_CAP {
+            self.inner.eliminate.evict(arena.eliminate.len() as u64);
+            arena.eliminate.clear();
+        }
+        arena.eliminate.insert((id, v), r.clone());
+        r
+    }
+
+    pub(crate) fn cached_negate(
+        &self,
+        c: &Conjunct,
+        compute: impl FnOnce() -> Result<Vec<Conjunct>, OmegaError>,
+    ) -> Result<Vec<Conjunct>, OmegaError> {
+        if !self.is_enabled() {
+            return compute();
+        }
+        let id = {
+            let cc = c.canonical();
+            let mut arena = self.inner.arena.lock().unwrap();
+            let id = Self::intern_in(&mut arena.conjuncts, &cc);
+            if let Some(r) = arena.negate.get(&id) {
+                self.inner.negate.hit();
+                return r.clone();
+            }
+            id
+        };
+        self.inner.negate.miss();
+        let r = compute();
+        let mut arena = self.inner.arena.lock().unwrap();
+        if arena.negate.len() >= CACHE_CAP {
+            self.inner.negate.evict(arena.negate.len() as u64);
+            arena.negate.clear();
+        }
+        arena.negate.insert(id, r.clone());
+        r
+    }
+
+    pub(crate) fn cached_gist(
+        &self,
+        c: &Conjunct,
+        given: &Conjunct,
+        compute: impl FnOnce() -> Conjunct,
+    ) -> Conjunct {
+        if !self.is_enabled() {
+            return compute();
+        }
+        let key = {
+            let ca = c.canonical();
+            let cb = given.canonical();
+            let mut arena = self.inner.arena.lock().unwrap();
+            let a = Self::intern_in(&mut arena.conjuncts, &ca);
+            let b = Self::intern_in(&mut arena.conjuncts, &cb);
+            if let Some(r) = arena.gist.get(&(a, b)) {
+                self.inner.gist.hit();
+                return r.clone();
+            }
+            (a, b)
+        };
+        self.inner.gist.miss();
+        let r = compute();
+        let mut arena = self.inner.arena.lock().unwrap();
+        if arena.gist.len() >= CACHE_CAP {
+            self.inner.gist.evict(arena.gist.len() as u64);
+            arena.gist.clear();
+        }
+        arena.gist.insert(key, r.clone());
+        r
+    }
+
+    pub(crate) fn cached_simplify(
+        &self,
+        conjuncts: &[Conjunct],
+        compute: impl FnOnce() -> Vec<Conjunct>,
+    ) -> Vec<Conjunct> {
+        if !self.is_enabled() {
+            return compute();
+        }
+        let key = {
+            let mut arena = self.inner.arena.lock().unwrap();
+            let key: Vec<Id> = conjuncts
+                .iter()
+                .map(|c| Self::intern_in(&mut arena.conjuncts, &c.canonical()))
+                .collect();
+            if let Some(r) = arena.simplify.get(&key) {
+                self.inner.simplify.hit();
+                return r.clone();
+            }
+            key
+        };
+        self.inner.simplify.miss();
+        let r = compute();
+        let mut arena = self.inner.arena.lock().unwrap();
+        if arena.simplify.len() >= CACHE_CAP {
+            self.inner.simplify.evict(arena.simplify.len() as u64);
+            arena.simplify.clear();
+        }
+        arena.simplify.insert(key, r.clone());
+        r
+    }
+}
+
+/// Picks the context shared by a binary operation's operands: the left
+/// operand's context wins; otherwise the right's.
+pub(crate) fn join(a: Option<&Context>, b: Option<&Context>) -> Option<Context> {
+    a.or(b).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let ctx = Context::new();
+        let mut c = Conjunct::new();
+        c.add_geq(LinExpr::var(Var::In(0)));
+        let id1 = ctx.intern_conjunct(&c);
+        let id2 = ctx.intern_conjunct(&c.clone());
+        assert_eq!(id1, id2);
+        let mut d = c.clone();
+        d.add_geq(LinExpr::var(Var::In(1)));
+        assert_ne!(ctx.intern_conjunct(&d), id1);
+        assert_eq!(ctx.stats().interned_conjuncts, 2);
+    }
+
+    #[test]
+    fn sat_cache_hits_on_repeat() {
+        let ctx = Context::new();
+        let s = ctx.parse_set("{[i] : 1 <= i <= 10}").unwrap();
+        assert!(!s.is_empty());
+        let before = ctx.stats();
+        assert!(!s.is_empty());
+        let after = ctx.stats();
+        assert!(
+            after.sat.hits > before.sat.hits,
+            "second emptiness test must hit"
+        );
+    }
+
+    #[test]
+    fn disabled_context_never_hits() {
+        let ctx = Context::disabled();
+        let s = ctx.parse_set("{[i] : 1 <= i <= 10}").unwrap();
+        assert!(!s.is_empty());
+        assert!(!s.is_empty());
+        let stats = ctx.stats();
+        assert_eq!(stats.total_hits(), 0);
+        assert_eq!(stats.total_misses(), 0);
+    }
+
+    #[test]
+    fn stats_display_is_humane() {
+        let ctx = Context::new();
+        let txt = ctx.stats().to_string();
+        assert!(txt.contains("hit rate"));
+    }
+}

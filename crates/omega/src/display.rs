@@ -39,12 +39,7 @@ impl fmt::Display for Set {
     }
 }
 
-fn write_tuple(
-    f: &mut fmt::Formatter<'_>,
-    n: u32,
-    names: &[String],
-    prefix: &str,
-) -> fmt::Result {
+fn write_tuple(f: &mut fmt::Formatter<'_>, n: u32, names: &[String], prefix: &str) -> fmt::Result {
     write!(f, "[")?;
     for k in 0..n {
         if k > 0 {
@@ -130,30 +125,28 @@ fn write_cmp(f: &mut fmt::Formatter<'_>, e: &LinExpr, op: &str, rel: &Relation) 
         }
     }
     let k = e.constant_term();
-    let write_side = |f: &mut fmt::Formatter<'_>,
-                      terms: &[(String, i64)],
-                      konst: i64|
-     -> fmt::Result {
-        let mut first = true;
-        for (name, c) in terms {
-            if !first {
-                write!(f, " + ")?;
+    let write_side =
+        |f: &mut fmt::Formatter<'_>, terms: &[(String, i64)], konst: i64| -> fmt::Result {
+            let mut first = true;
+            for (name, c) in terms {
+                if !first {
+                    write!(f, " + ")?;
+                }
+                first = false;
+                if *c == 1 {
+                    write!(f, "{name}")?;
+                } else {
+                    write!(f, "{c}{name}")?;
+                }
             }
-            first = false;
-            if *c == 1 {
-                write!(f, "{name}")?;
-            } else {
-                write!(f, "{c}{name}")?;
+            if konst != 0 || first {
+                if !first {
+                    write!(f, " + ")?;
+                }
+                write!(f, "{konst}")?;
             }
-        }
-        if konst != 0 || first {
-            if !first {
-                write!(f, " + ")?;
-            }
-            write!(f, "{konst}")?;
-        }
-        Ok(())
-    };
+            Ok(())
+        };
     write_side(f, &pos, if k > 0 { k } else { 0 })?;
     write!(f, " {op} ")?;
     write_side(f, &neg, if k < 0 { -k } else { 0 })
@@ -189,7 +182,10 @@ mod tests {
         let s: Set = "{[i,j] : i <= j}".parse().unwrap();
         let txt = s.to_string();
         assert!(txt.contains("[i,j]"), "{txt}");
-        assert!(txt.contains("i <= j") || txt.contains("j >= i") || txt.contains(">="), "{txt}");
+        assert!(
+            txt.contains("i <= j") || txt.contains("j >= i") || txt.contains(">="),
+            "{txt}"
+        );
     }
 
     #[test]

@@ -38,7 +38,9 @@
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod conjunct;
+pub mod context;
 pub mod display;
 pub mod linexpr;
 pub mod num;
@@ -46,11 +48,16 @@ pub mod ops;
 pub mod parse;
 pub mod relation;
 pub mod set;
+pub mod testing;
 pub mod var;
 
+pub use builder::{RelationBuilder, SetBuilder};
 pub use conjunct::{Conjunct, Normalized};
+pub use context::{CacheStats, Context, OpCounts};
 pub use linexpr::LinExpr;
+#[allow(deprecated)]
 pub use ops::{negate_conjunct, to_stride_form};
+pub use ops::{negate_conjunct_in, to_stride_form_in};
 pub use parse::ParseError;
 pub use relation::Relation;
 pub use set::Set;
@@ -58,8 +65,12 @@ pub use var::{Var, VarNames};
 
 use std::fmt;
 
-/// Errors reported by set operations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Errors reported by set operations and fallible constructors.
+///
+/// Every fallible public entry point of this crate — parsing, enumeration,
+/// exact negation, builder construction — reports through this one enum,
+/// so malformed input surfaces as an `Err`, never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum OmegaError {
     /// A conjunct's existential system could not be negated exactly
@@ -67,6 +78,12 @@ pub enum OmegaError {
     InexactNegation,
     /// Enumeration was requested for a set with no constant bounds.
     Unbounded,
+    /// The Omega-syntax parser rejected the input; the payload carries the
+    /// message and source offset.
+    Parse(ParseError),
+    /// Coefficient arithmetic overflowed `i64` while building or combining
+    /// constraints; the payload names the failing operation.
+    Overflow(&'static str),
 }
 
 impl fmt::Display for OmegaError {
@@ -76,8 +93,23 @@ impl fmt::Display for OmegaError {
                 write!(f, "existential system cannot be negated exactly")
             }
             OmegaError::Unbounded => write!(f, "set has no constant bounds to enumerate"),
+            OmegaError::Parse(e) => write!(f, "{e}"),
+            OmegaError::Overflow(op) => write!(f, "integer overflow in {op}"),
         }
     }
 }
 
-impl std::error::Error for OmegaError {}
+impl std::error::Error for OmegaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OmegaError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for OmegaError {
+    fn from(e: ParseError) -> Self {
+        OmegaError::Parse(e)
+    }
+}

@@ -1,7 +1,8 @@
 //! Affine (linear + constant) integer expressions over [`Var`]s.
 
-use crate::num::{add, gcd, mul};
+use crate::num::{add, gcd, mul, try_add, try_mul};
 use crate::var::Var;
+use crate::OmegaError;
 use std::fmt;
 
 /// An affine expression `c0 + c1*v1 + c2*v2 + ...` with `i64` coefficients.
@@ -132,6 +133,77 @@ impl LinExpr {
         let mut e = LinExpr::zero();
         e.add_scaled(self, k);
         e
+    }
+
+    /// Returns `self + rhs`.
+    pub fn plus(&self, rhs: &LinExpr) -> LinExpr {
+        let mut e = self.clone();
+        e.add_scaled(rhs, 1);
+        e
+    }
+
+    /// Returns `self - rhs`.
+    pub fn minus(&self, rhs: &LinExpr) -> LinExpr {
+        let mut e = self.clone();
+        e.add_scaled(rhs, -1);
+        e
+    }
+
+    /// Checked version of [`add_term`](Self::add_term): reports overflow
+    /// instead of panicking. Used by the parser and builder entry points.
+    pub fn try_add_term(&mut self, v: Var, c: i64) -> Result<(), OmegaError> {
+        if c == 0 {
+            return Ok(());
+        }
+        match self.terms.binary_search_by_key(&v, |&(w, _)| w) {
+            Ok(i) => {
+                let nc = try_add(self.terms[i].1, c)?;
+                if nc == 0 {
+                    self.terms.remove(i);
+                } else {
+                    self.terms[i].1 = nc;
+                }
+            }
+            Err(i) => self.terms.insert(i, (v, c)),
+        }
+        Ok(())
+    }
+
+    /// Checked version of [`add_constant`](Self::add_constant).
+    pub fn try_add_constant(&mut self, c: i64) -> Result<(), OmegaError> {
+        self.constant = try_add(self.constant, c)?;
+        Ok(())
+    }
+
+    /// Checked version of [`add_scaled`](Self::add_scaled).
+    pub fn try_add_scaled(&mut self, other: &LinExpr, k: i64) -> Result<(), OmegaError> {
+        if k == 0 {
+            return Ok(());
+        }
+        for &(v, c) in &other.terms {
+            self.try_add_term(v, try_mul(c, k)?)?;
+        }
+        self.constant = try_add(self.constant, try_mul(other.constant, k)?)?;
+        Ok(())
+    }
+
+    /// Checked version of [`scaled`](Self::scaled).
+    pub fn try_scaled(&self, k: i64) -> Result<LinExpr, OmegaError> {
+        let mut e = LinExpr::zero();
+        e.try_add_scaled(self, k)?;
+        Ok(e)
+    }
+
+    /// Checked difference `self - rhs`, reporting overflow as an error.
+    pub fn try_sub(&self, rhs: &LinExpr) -> Result<LinExpr, OmegaError> {
+        let mut e = self.clone();
+        e.try_add_scaled(rhs, -1)?;
+        Ok(e)
+    }
+
+    /// Checked negation, reporting overflow as an error (`-i64::MIN`).
+    pub fn try_negated(&self) -> Result<LinExpr, OmegaError> {
+        self.try_scaled(-1)
     }
 
     /// Returns `-self`.

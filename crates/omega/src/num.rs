@@ -95,14 +95,34 @@ pub fn modulo(a: i64, b: i64) -> i64 {
     a - floor_div(a, b) * b
 }
 
+/// Checked multiplication returning [`OmegaError::Overflow`] on overflow.
+///
+/// This is the fallible path used by the parser and the builder API so
+/// malformed or adversarial inputs surface as errors, never panics.
+pub fn try_mul(a: i64, b: i64) -> Result<i64, crate::OmegaError> {
+    a.checked_mul(b)
+        .ok_or(crate::OmegaError::Overflow("multiplication"))
+}
+
+/// Checked addition returning [`OmegaError::Overflow`] on overflow.
+pub fn try_add(a: i64, b: i64) -> Result<i64, crate::OmegaError> {
+    a.checked_add(b)
+        .ok_or(crate::OmegaError::Overflow("addition"))
+}
+
+/// Checked subtraction returning [`OmegaError::Overflow`] on overflow.
+pub fn try_sub(a: i64, b: i64) -> Result<i64, crate::OmegaError> {
+    a.checked_sub(b)
+        .ok_or(crate::OmegaError::Overflow("subtraction"))
+}
+
 /// Checked multiplication.
 ///
 /// # Panics
 ///
 /// Panics on overflow.
 pub fn mul(a: i64, b: i64) -> i64 {
-    a.checked_mul(b)
-        .unwrap_or_else(|| panic!("integer overflow in {a} * {b}"))
+    try_mul(a, b).unwrap_or_else(|_| panic!("integer overflow in {a} * {b}"))
 }
 
 /// Checked addition.
@@ -111,8 +131,7 @@ pub fn mul(a: i64, b: i64) -> i64 {
 ///
 /// Panics on overflow.
 pub fn add(a: i64, b: i64) -> i64 {
-    a.checked_add(b)
-        .unwrap_or_else(|| panic!("integer overflow in {a} + {b}"))
+    try_add(a, b).unwrap_or_else(|_| panic!("integer overflow in {a} + {b}"))
 }
 
 /// Checked subtraction.
@@ -121,8 +140,7 @@ pub fn add(a: i64, b: i64) -> i64 {
 ///
 /// Panics on overflow.
 pub fn sub(a: i64, b: i64) -> i64 {
-    a.checked_sub(b)
-        .unwrap_or_else(|| panic!("integer overflow in {a} - {b}"))
+    try_sub(a, b).unwrap_or_else(|_| panic!("integer overflow in {a} - {b}"))
 }
 
 #[cfg(test)]

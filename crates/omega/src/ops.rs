@@ -21,7 +21,32 @@ use std::collections::BTreeMap;
 ///
 /// Returns [`OmegaError::InexactNegation`] if the existential structure
 /// cannot be reduced to congruences.
+#[deprecated(note = "use `negate_conjunct_in(c, None)` or `Context::negate_conjunct`")]
 pub fn negate_conjunct(c: &Conjunct) -> Result<Vec<Conjunct>, OmegaError> {
+    negate_conjunct_in(c, None)
+}
+
+/// [`negate_conjunct`] threading an optional shared [`Context`](crate::Context)
+/// that memoizes the negation per distinct conjunct structure.
+///
+/// # Errors
+///
+/// Returns [`OmegaError::InexactNegation`] if the existential structure
+/// cannot be reduced to congruences.
+pub fn negate_conjunct_in(
+    c: &Conjunct,
+    ctx: Option<&crate::Context>,
+) -> Result<Vec<Conjunct>, OmegaError> {
+    match ctx {
+        Some(cx) => cx.cached_negate(c, || negate_uncached(c, ctx)),
+        None => negate_uncached(c, None),
+    }
+}
+
+fn negate_uncached(
+    c: &Conjunct,
+    ctx: Option<&crate::Context>,
+) -> Result<Vec<Conjunct>, OmegaError> {
     let mut c = c.clone();
     if c.normalize() == Normalized::False {
         // Complement of the empty conjunct is the universe.
@@ -30,7 +55,7 @@ pub fn negate_conjunct(c: &Conjunct) -> Result<Vec<Conjunct>, OmegaError> {
     // Reduce to stride form: eliminate every existential that is not a pure
     // congruence witness. Elimination can introduce fresh existentials with
     // shrinking coefficients (the Omega test), so iterate with fuel.
-    let stride_form = to_stride_form(c)?;
+    let stride_form = to_stride_form_in(c, ctx)?;
     // ¬(u1 ∨ u2 ∨ ...) = ¬u1 ∧ ¬u2 ∧ ...
     let mut acc: Vec<Conjunct> = vec![Conjunct::new()];
     for p in &stride_form {
@@ -63,7 +88,22 @@ pub fn negate_conjunct(c: &Conjunct) -> Result<Vec<Conjunct>, OmegaError> {
 /// Returns [`OmegaError::InexactNegation`] if the reduction does not
 /// converge within its fuel budget (does not happen for the constraint
 /// class produced by affine loop nests and HPF layouts).
+#[deprecated(note = "use `to_stride_form_in(c, None)` or `Context::to_stride_form`")]
 pub fn to_stride_form(c: Conjunct) -> Result<Vec<Conjunct>, OmegaError> {
+    to_stride_form_in(c, None)
+}
+
+/// [`to_stride_form`] threading an optional shared [`Context`](crate::Context)
+/// so the exact eliminations share the context's projection cache.
+///
+/// # Errors
+///
+/// Returns [`OmegaError::InexactNegation`] if the reduction does not
+/// converge within its fuel budget.
+pub fn to_stride_form_in(
+    c: Conjunct,
+    ctx: Option<&crate::Context>,
+) -> Result<Vec<Conjunct>, OmegaError> {
     let mut done = Vec::new();
     let mut work = vec![c];
     let mut fuel = 500u32;
@@ -77,7 +117,7 @@ pub fn to_stride_form(c: Conjunct) -> Result<Vec<Conjunct>, OmegaError> {
         }
         match first_complex_exist(&c) {
             None => done.push(c),
-            Some(v) => work.extend(c.eliminate_exact(v)),
+            Some(v) => work.extend(c.eliminate_exact_in(v, ctx)),
         }
     }
     Ok(done)
@@ -196,7 +236,7 @@ mod tests {
     fn negate_interval() {
         let mut c = Conjunct::new();
         c.add_bounds(iv(0), 3, 7);
-        let neg = negate_conjunct(&c).unwrap();
+        let neg = negate_conjunct_in(&c, None).unwrap();
         for x in -5..=15i64 {
             assert_eq!(member_of_union(&neg, x), !(3..=7).contains(&x), "x = {x}");
         }
@@ -206,7 +246,7 @@ mod tests {
     fn negate_equality() {
         let mut c = Conjunct::new();
         c.add_eq(crate::LinExpr::from_terms([(iv(0), 1)], -4)); // i = 4
-        let neg = negate_conjunct(&c).unwrap();
+        let neg = negate_conjunct_in(&c, None).unwrap();
         for x in 0..=8i64 {
             assert_eq!(member_of_union(&neg, x), x != 4);
         }
@@ -217,7 +257,7 @@ mod tests {
         // i ≡ 0 (mod 3)
         let mut c = Conjunct::new();
         c.add_stride(crate::LinExpr::var(iv(0)), 3);
-        let neg = negate_conjunct(&c).unwrap();
+        let neg = negate_conjunct_in(&c, None).unwrap();
         for x in -9..=9i64 {
             assert_eq!(member_of_union(&neg, x), x.rem_euclid(3) != 0, "x = {x}");
         }
@@ -227,7 +267,7 @@ mod tests {
     fn negate_empty_is_universe() {
         let mut c = Conjunct::new();
         c.add_geq(crate::LinExpr::constant(-1)); // false
-        let neg = negate_conjunct(&c).unwrap();
+        let neg = negate_conjunct_in(&c, None).unwrap();
         assert!(member_of_union(&neg, 42));
     }
 
@@ -240,7 +280,7 @@ mod tests {
         c.add_geq(crate::LinExpr::from_terms([(iv(0), -1), (a, 2)], 1));
         c.add_geq(crate::LinExpr::from_terms([(a, 1)], 0));
         c.add_geq(crate::LinExpr::from_terms([(a, -1)], 2));
-        let neg = negate_conjunct(&c).unwrap();
+        let neg = negate_conjunct_in(&c, None).unwrap();
         for x in -5..=10i64 {
             assert_eq!(member_of_union(&neg, x), !(0..=5).contains(&x), "x = {x}");
         }

@@ -42,6 +42,10 @@ impl ParseError {
     pub fn offset(&self) -> usize {
         self.offset
     }
+
+    pub(crate) fn expected_set() -> Self {
+        ParseError::new("expected a set, found a relation (`->` tuple)", 0)
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -72,7 +76,9 @@ fn lex(s: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
         let start = i;
         if c.is_ascii_alphabetic() || c == '_' {
             let mut j = i;
-            while j < b.len() && ((b[j] as char).is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'\'') {
+            while j < b.len()
+                && ((b[j] as char).is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'\'')
+            {
                 j += 1;
             }
             out.push((Tok::Ident(s[i..j].to_string()), start));
@@ -258,26 +264,25 @@ impl Parser {
         // Comparison chain.
         let mut lhs = self.expr(c, exists)?;
         let mut any = false;
-        loop {
-            let op = match self.peek() {
-                Some(Tok::Sym(s @ ("=" | "<=" | "<" | ">=" | ">"))) => *s,
-                _ => break,
-            };
+        while let Some(Tok::Sym(s @ ("=" | "<=" | "<" | ">=" | ">"))) = self.peek() {
+            let op = *s;
+            let off = self.offset();
             self.pos += 1;
             let rhs = self.expr(c, exists)?;
             any = true;
+            let overflow = |_| ParseError::new("coefficient overflow", off);
             match op {
-                "=" => c.add_eq(lhs.clone() - rhs.clone()),
-                "<=" => c.add_geq(rhs.clone() - lhs.clone()),
+                "=" => c.add_eq(lhs.try_sub(&rhs).map_err(overflow)?),
+                "<=" => c.add_geq(rhs.try_sub(&lhs).map_err(overflow)?),
                 "<" => {
-                    let mut e = rhs.clone() - lhs.clone();
-                    e.add_constant(-1);
+                    let mut e = rhs.try_sub(&lhs).map_err(overflow)?;
+                    e.try_add_constant(-1).map_err(overflow)?;
                     c.add_geq(e);
                 }
-                ">=" => c.add_geq(lhs.clone() - rhs.clone()),
+                ">=" => c.add_geq(lhs.try_sub(&rhs).map_err(overflow)?),
                 ">" => {
-                    let mut e = lhs.clone() - rhs.clone();
-                    e.add_constant(-1);
+                    let mut e = lhs.try_sub(&rhs).map_err(overflow)?;
+                    e.try_add_constant(-1).map_err(overflow)?;
                     c.add_geq(e);
                 }
                 _ => unreachable!(),
@@ -285,24 +290,25 @@ impl Parser {
             lhs = rhs;
         }
         if !any {
-            return Err(ParseError::new("expected comparison operator", self.offset()));
+            return Err(ParseError::new(
+                "expected comparison operator",
+                self.offset(),
+            ));
         }
         Ok(())
     }
 
-    fn expr(
-        &mut self,
-        c: &mut Conjunct,
-        exists: &[(String, Var)],
-    ) -> Result<LinExpr, ParseError> {
+    fn expr(&mut self, c: &mut Conjunct, exists: &[(String, Var)]) -> Result<LinExpr, ParseError> {
         let mut e = self.term(c, exists)?;
         loop {
+            let off = self.offset();
+            let overflow = |_| ParseError::new("coefficient overflow", off);
             if self.eat("+") {
                 let t = self.term(c, exists)?;
-                e = e + t;
+                e.try_add_scaled(&t, 1).map_err(overflow)?;
             } else if self.eat("-") {
                 let t = self.term(c, exists)?;
-                e = e - t;
+                e.try_add_scaled(&t, -1).map_err(overflow)?;
             } else {
                 break;
             }
@@ -310,11 +316,7 @@ impl Parser {
         Ok(e)
     }
 
-    fn term(
-        &mut self,
-        c: &mut Conjunct,
-        exists: &[(String, Var)],
-    ) -> Result<LinExpr, ParseError> {
+    fn term(&mut self, c: &mut Conjunct, exists: &[(String, Var)]) -> Result<LinExpr, ParseError> {
         let mut e = self.factor(c, exists)?;
         loop {
             let juxtaposed = matches!(self.peek(), Some(Tok::Ident(id)) if id != "exists")
@@ -322,7 +324,9 @@ impl Parser {
             if self.eat("*") || juxtaposed {
                 let off = self.offset();
                 let f = self.factor(c, exists)?;
-                e = lin_mul(&e, &f).ok_or_else(|| ParseError::new("nonlinear product", off))?;
+                e = lin_mul(&e, &f)
+                    .map_err(|_| ParseError::new("coefficient overflow", off))?
+                    .ok_or_else(|| ParseError::new("nonlinear product", off))?;
             } else {
                 break;
             }
@@ -341,7 +345,8 @@ impl Parser {
             Some(Tok::Ident(name)) => Ok(LinExpr::var(self.resolve(&name, exists))),
             Some(Tok::Sym("-")) => {
                 let f = self.factor(c, exists)?;
-                Ok(f.negated())
+                f.try_negated()
+                    .map_err(|_| ParseError::new("coefficient overflow", off))
             }
             Some(Tok::Sym("(")) => {
                 let e = self.expr(c, exists)?;
@@ -353,14 +358,15 @@ impl Parser {
     }
 }
 
-/// Product of two linear expressions; `None` if both are non-constant.
-fn lin_mul(a: &LinExpr, b: &LinExpr) -> Option<LinExpr> {
+/// Product of two linear expressions; `Ok(None)` if both are non-constant,
+/// `Err` if the coefficient arithmetic overflows.
+fn lin_mul(a: &LinExpr, b: &LinExpr) -> Result<Option<LinExpr>, crate::OmegaError> {
     if a.is_constant() {
-        Some(b.scaled(a.constant_term()))
+        b.try_scaled(a.constant_term()).map(Some)
     } else if b.is_constant() {
-        Some(a.scaled(b.constant_term()))
+        a.try_scaled(b.constant_term()).map(Some)
     } else {
-        None
+        Ok(None)
     }
 }
 
@@ -495,7 +501,9 @@ mod tests {
 
     #[test]
     fn parse_exists() {
-        let s: Set = "{[i] : exists(a : i = 4a + 1) && 0 <= i <= 20}".parse().unwrap();
+        let s: Set = "{[i] : exists(a : i = 4a + 1) && 0 <= i <= 20}"
+            .parse()
+            .unwrap();
         let pts = s.enumerate(&[]).unwrap();
         assert_eq!(pts, vec![vec![1], vec![5], vec![9], vec![13], vec![17]]);
     }

@@ -1,8 +1,9 @@
 //! Relations: unions of [`Conjunct`]s mapping input tuples to output tuples.
 
 use crate::conjunct::{Conjunct, Normalized};
+use crate::context::{join, Context};
 use crate::linexpr::LinExpr;
-use crate::ops::negate_conjunct;
+use crate::ops::negate_conjunct_in;
 use crate::var::Var;
 
 /// A symbolic integer tuple relation `{ [i..] -> [j..] : formula }`.
@@ -28,6 +29,7 @@ pub struct Relation {
     pub(crate) in_names: Vec<String>,
     pub(crate) out_names: Vec<String>,
     conjuncts: Vec<Conjunct>,
+    pub(crate) ctx: Option<Context>,
 }
 
 impl Relation {
@@ -40,6 +42,7 @@ impl Relation {
             in_names: Vec::new(),
             out_names: Vec::new(),
             conjuncts: vec![Conjunct::new()],
+            ctx: None,
         }
     }
 
@@ -52,7 +55,30 @@ impl Relation {
             in_names: Vec::new(),
             out_names: Vec::new(),
             conjuncts: Vec::new(),
+            ctx: None,
         }
+    }
+
+    /// Attaches a shared [`Context`], returning the relation.
+    ///
+    /// Derived relations inherit the context of their operands (the left
+    /// operand wins when both carry one), so attaching a context to the
+    /// *root* relations of a computation is enough for every downstream
+    /// operation to share its caches.
+    #[must_use]
+    pub fn with_context(mut self, ctx: &Context) -> Self {
+        self.ctx = Some(ctx.clone());
+        self
+    }
+
+    /// Attaches (or clears) the shared [`Context`] in place.
+    pub fn set_context(&mut self, ctx: Option<&Context>) {
+        self.ctx = ctx.cloned();
+    }
+
+    /// The shared [`Context`] attached to this relation, if any.
+    pub fn context(&self) -> Option<&Context> {
+        self.ctx.as_ref()
     }
 
     /// Number of input tuple variables.
@@ -181,6 +207,7 @@ impl Relation {
         if a.out_names.is_empty() {
             a.out_names = b.out_names;
         }
+        a.ctx = join(a.ctx.as_ref(), b.ctx.as_ref());
         a
     }
 
@@ -207,6 +234,7 @@ impl Relation {
                 a.out_names.clone()
             },
             conjuncts: Vec::new(),
+            ctx: join(a.ctx.as_ref(), b.ctx.as_ref()),
         };
         for ca in &a.conjuncts {
             for cb in &b.conjuncts {
@@ -244,15 +272,17 @@ impl Relation {
     pub fn try_subtract(&self, other: &Relation) -> Result<Relation, crate::OmegaError> {
         self.check_same_arity(other, "subtract");
         let (a, b) = Relation::unify_params(self.clone(), other.clone());
+        let ctx = join(a.ctx.as_ref(), b.ctx.as_ref());
+        let cx = ctx.as_ref();
         let mut pieces: Vec<Conjunct> = a.conjuncts.clone();
         for cb in &b.conjuncts {
-            let negs = negate_conjunct(cb)?;
+            let negs = negate_conjunct_in(cb, cx)?;
             let mut next = Vec::new();
             for p in &pieces {
                 for n in &negs {
                     let mut c = p.clone();
                     c.merge(n);
-                    if c.normalize() != Normalized::False && c.is_satisfiable() {
+                    if c.normalize() != Normalized::False && c.is_satisfiable_in(cx) {
                         next.push(c);
                     }
                 }
@@ -269,6 +299,7 @@ impl Relation {
             in_names: a.in_names.clone(),
             out_names: a.out_names.clone(),
             conjuncts: pieces,
+            ctx: ctx.clone(),
         };
         out.simplify();
         Ok(out)
@@ -297,7 +328,10 @@ impl Relation {
             in_names: a.in_names.clone(),
             out_names: b.out_names.clone(),
             conjuncts: Vec::new(),
+            ctx: join(a.ctx.as_ref(), b.ctx.as_ref()),
         };
+        let ctx = out.ctx.clone();
+        let cx = ctx.as_ref();
         for ca in &a.conjuncts {
             for cb in &b.conjuncts {
                 // Mid variables become existentials Exist(0..mid); the two
@@ -331,7 +365,7 @@ impl Relation {
                 for j in 0..mid {
                     let mut next = Vec::new();
                     for c in work {
-                        next.extend(c.eliminate_exact(Var::Exist(j)));
+                        next.extend(c.eliminate_exact_in(Var::Exist(j), cx));
                     }
                     work = next;
                 }
@@ -365,15 +399,17 @@ impl Relation {
             in_names: self.out_names.clone(),
             out_names: self.in_names.clone(),
             conjuncts: self.conjuncts.iter().map(|c| c.rename(f)).collect(),
+            ctx: self.ctx.clone(),
         }
     }
 
     /// Eliminates a tuple variable exactly from every conjunct, keeping the
     /// arity bookkeeping to the caller. Internal building block.
     fn eliminate_var(&mut self, v: Var) {
+        let ctx = self.ctx.clone();
         let mut out = Vec::new();
         for c in &self.conjuncts {
-            out.extend(c.eliminate_exact(v));
+            out.extend(c.eliminate_exact_in(v, ctx.as_ref()));
         }
         self.conjuncts = out;
     }
@@ -444,6 +480,7 @@ impl Relation {
                 .iter()
                 .map(|c| c.rename(f))
                 .collect(),
+            ctx: set.as_relation().ctx.clone(),
         };
         if lifted.out_names.is_empty() {
             lifted.out_names = self.out_names.clone();
@@ -495,7 +532,8 @@ impl Relation {
     /// True if the relation has no integer solutions for any parameter
     /// values.
     pub fn is_empty(&self) -> bool {
-        !self.conjuncts.iter().any(|c| c.is_satisfiable())
+        let cx = self.ctx.as_ref();
+        !self.conjuncts.iter().any(|c| c.is_satisfiable_in(cx))
     }
 
     /// True if some tuple satisfies the relation for some parameter values.
@@ -524,7 +562,8 @@ impl Relation {
 
     /// Cheap cleanup: normalize conjuncts, drop trivially-false ones.
     pub fn simplify_cheap(&mut self) {
-        self.conjuncts.retain_mut(|c| c.normalize() != Normalized::False);
+        self.conjuncts
+            .retain_mut(|c| c.normalize() != Normalized::False);
         self.conjuncts.sort_by_key(|c| format!("{c:?}"));
         self.conjuncts.dedup();
     }
@@ -537,11 +576,26 @@ impl Relation {
     /// proved cheaper end-to-end than deferring any pass (see
     /// [`Relation::simplify_deep`]).
     pub fn simplify(&mut self) {
+        match self.ctx.clone() {
+            Some(cx) => {
+                self.conjuncts = cx.cached_simplify(&self.conjuncts, || {
+                    let mut scratch = self.clone();
+                    scratch.simplify_uncached();
+                    scratch.conjuncts
+                });
+            }
+            None => self.simplify_uncached(),
+        }
+    }
+
+    fn simplify_uncached(&mut self) {
+        let ctx = self.ctx.clone();
+        let cx = ctx.as_ref();
         self.simplify_cheap();
-        self.conjuncts.retain(|c| c.is_satisfiable());
+        self.conjuncts.retain(|c| c.is_satisfiable_in(cx));
         self.syntactic_subsume();
         for c in &mut self.conjuncts {
-            c.remove_redundant();
+            c.remove_redundant_in(cx);
         }
         self.simplify_cheap();
         self.semantic_subsume();
@@ -565,6 +619,8 @@ impl Relation {
         if self.conjuncts.len() < 2 {
             return;
         }
+        let ctx = self.ctx.clone();
+        let cx = ctx.as_ref();
         let mut keep = vec![true; self.conjuncts.len()];
         for i in 0..self.conjuncts.len() {
             if !keep[i] {
@@ -574,12 +630,12 @@ impl Relation {
                 if i == j || !keep[j] {
                     continue;
                 }
-                if let Ok(negs) = negate_conjunct(&self.conjuncts[j]) {
+                if let Ok(negs) = negate_conjunct_in(&self.conjuncts[j], cx) {
                     let ci = &self.conjuncts[i];
                     let sub = negs.iter().all(|n| {
                         let mut t = ci.clone();
                         t.merge(n);
-                        t.normalize() == Normalized::False || !t.is_satisfiable()
+                        t.normalize() == Normalized::False || !t.is_satisfiable_in(cx)
                     });
                     if sub {
                         keep[i] = false;
@@ -638,11 +694,13 @@ impl Relation {
         self.check_same_arity(context, "gist");
         let (a, b) = Relation::unify_params(self.clone(), context.clone());
         let mut out = a.clone();
+        out.ctx = join(a.ctx.as_ref(), b.ctx.as_ref());
         if b.conjuncts.len() == 1 {
+            let cx = out.ctx.clone();
             out.conjuncts = a
                 .conjuncts
                 .iter()
-                .map(|c| c.gist_given(&b.conjuncts[0]))
+                .map(|c| c.gist_given_in(&b.conjuncts[0], cx.as_ref()))
                 .collect();
         }
         out.simplify_cheap();
@@ -674,7 +732,8 @@ impl Relation {
             }
             Var::Exist(_) => None,
         };
-        self.conjuncts.iter().any(|c| c.contains(lookup))
+        let cx = self.ctx.as_ref();
+        self.conjuncts.iter().any(|c| c.contains_in(lookup, cx))
     }
 
     /// A fresh [`LinExpr`] naming input variable `i`.
@@ -774,7 +833,10 @@ mod tests {
         let n = a.intersection(&b);
         assert!(n.contains(&[5], &[("N", 10), ("K", 3)]));
         assert!(!n.contains(&[2], &[("N", 10), ("K", 3)]));
-        assert_eq!(n.as_relation().params(), &["K".to_string(), "N".to_string()]);
+        assert_eq!(
+            n.as_relation().params(),
+            &["K".to_string(), "N".to_string()]
+        );
     }
 
     #[test]

@@ -50,6 +50,24 @@ impl Set {
         Set { rel }
     }
 
+    /// Attaches a shared [`Context`](crate::Context), returning the set.
+    /// See [`Relation::with_context`].
+    #[must_use]
+    pub fn with_context(mut self, ctx: &crate::Context) -> Self {
+        self.rel = self.rel.with_context(ctx);
+        self
+    }
+
+    /// Attaches (or clears) the shared [`Context`](crate::Context) in place.
+    pub fn set_context(&mut self, ctx: Option<&crate::Context>) {
+        self.rel.set_context(ctx);
+    }
+
+    /// The shared [`Context`](crate::Context) attached to this set, if any.
+    pub fn context(&self) -> Option<&crate::Context> {
+        self.rel.context()
+    }
+
     /// Views the set as a relation.
     pub fn as_relation(&self) -> &Relation {
         &self.rel
@@ -171,13 +189,15 @@ impl Set {
             })
             .collect();
         *rel.conjuncts_mut() = conjs;
+        let ctx = self.rel.context().cloned();
+        let cx = ctx.as_ref();
         let mut tmp = Relation::universe(arity, dims.len() as u32);
         let (mut a, _) = Relation::unify_params(rel, tmp.clone());
         for i in 0..arity {
             if pos_of(i).is_none() {
                 let mut out = Vec::new();
                 for c in a.conjuncts() {
-                    out.extend(c.eliminate_exact(Var::In(i)));
+                    out.extend(c.eliminate_exact_in(Var::In(i), cx));
                 }
                 *a.conjuncts_mut() = out;
             }
@@ -194,6 +214,9 @@ impl Set {
             })
             .collect();
         tmp = Relation::universe(dims.len() as u32, 0);
+        if let Some(cx) = cx {
+            tmp = tmp.with_context(cx);
+        }
         for p in a.params() {
             tmp.ensure_param(p);
         }
@@ -215,15 +238,16 @@ impl Set {
         let mut any = false;
         // Stride-form first: congruence-only existentials keep inequalities
         // witness-free, so every bound is directly readable.
+        let cx = proj.rel.context().cloned();
         let mut conjs = Vec::new();
         for c in proj.rel.conjuncts() {
-            match crate::ops::to_stride_form(c.clone()) {
+            match crate::ops::to_stride_form_in(c.clone(), cx.as_ref()) {
                 Ok(parts) => conjs.extend(parts),
                 Err(_) => conjs.push(c.clone()),
             }
         }
         for c in &conjs {
-            if !c.is_satisfiable() {
+            if !c.is_satisfiable_in(cx.as_ref()) {
                 continue;
             }
             any = true;
@@ -419,13 +443,7 @@ mod tests {
         let pts = s.enumerate(&[]).unwrap();
         assert_eq!(
             pts,
-            vec![
-                vec![1, 1],
-                vec![1, 2],
-                vec![1, 3],
-                vec![2, 2],
-                vec![2, 3]
-            ]
+            vec![vec![1, 1], vec![1, 2], vec![1, 3], vec![2, 2], vec![2, 3]]
         );
     }
 
@@ -439,10 +457,7 @@ mod tests {
     #[test]
     fn enumerate_unbounded_errors() {
         let s = set("{[i] : i >= 0}");
-        assert!(matches!(
-            s.enumerate(&[]),
-            Err(OmegaError::Unbounded)
-        ));
+        assert!(matches!(s.enumerate(&[]), Err(OmegaError::Unbounded)));
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Deterministic pseudo-random generation for the property-test suites.
+//!
+//! The workspace builds in fully offline environments, so the property
+//! tests use this tiny xorshift64* generator instead of an external
+//! framework. Failures print the seed; re-running with the same seed
+//! reproduces the case exactly.
+
+/// A small deterministic PRNG (xorshift64*), good enough for generating
+/// random constraint systems in tests.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a seed; distinct seeds give independent
+    /// streams, and the same seed always replays the same stream.
+    pub fn new(seed: u64) -> Self {
+        // Splash the seed so small consecutive seeds diverge immediately.
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x2545_F491_4F6C_DD1D;
+        if s == 0 {
+            s = 0xDEAD_BEEF_CAFE_F00D;
+        }
+        Rng(s)
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform integer in `lo..=hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// Uniform index in `0..n` (`n > 0`).
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+}

@@ -6,18 +6,16 @@
 //! FIFO channels. Simulated time uses an α/β model: a receive completes at
 //! `max(t_local, t_send + α + bytes·β)`.
 
-use crate::interp::{
-    allocate, eval_affine, eval_int, exec_stmt, SimError,
-};
+use crate::interp::{allocate, eval_affine, eval_int, exec_stmt, SimError};
 use crate::machine::MachineModel;
 use crate::store::{Array, Store};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use dhpf_codegen::Env;
 use dhpf_core::driver::Compiled;
 use dhpf_core::ir::ReduceOp;
 use dhpf_core::spmd::{CommEvent, NestOp, SpmdItem, SpmdProgram};
 use dhpf_core::ProcCoord;
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 /// A message between ranks: event tag, send timestamp, payload.
@@ -78,7 +76,10 @@ pub fn simulate(
                 "dimension {d} is fixed at {count} processors"
             );
         }
-        if matches!(spec.coord, ProcCoord::CyclicVp { .. } | ProcCoord::CyclicKVp { .. }) {
+        if matches!(
+            spec.coord,
+            ProcCoord::CyclicVp { .. } | ProcCoord::CyclicKVp { .. }
+        ) {
             return Err(SimError::Unsupported(
                 "executor does not run cyclic virtual-processor grids".into(),
             ));
@@ -92,10 +93,10 @@ pub fn simulate(
         .map(|_| (0..nranks).map(|_| None).collect())
         .collect();
     for src in 0..nranks {
-        for dst in 0..nranks {
-            let (s, r) = unbounded::<Message>();
+        for dst_row in receivers.iter_mut() {
+            let (s, r) = channel::<Message>();
             sends[src].push(s);
-            receivers[dst][src] = Some(r);
+            dst_row[src] = Some(r);
         }
     }
 
@@ -117,7 +118,14 @@ pub fn simulate(
             .collect();
         handles.push(std::thread::spawn(move || {
             run_rank(
-                rank, &counts, &program, &analysis, &inputs, &machine, &to_others, &from_others,
+                rank,
+                &counts,
+                &program,
+                &analysis,
+                &inputs,
+                &machine,
+                &to_others,
+                &from_others,
             )
         }));
     }
@@ -182,12 +190,18 @@ pub fn simulate(
     })
 }
 
+/// Elements of one distributed array owned by a rank: `(index tuple, value)`.
+type OwnedElems = Vec<(Vec<i64>, f64)>;
+
+/// Communication partners for one event: `(partner rank, data index tuples)`.
+type PartnerTuples = Vec<(usize, Vec<Vec<i64>>)>;
+
 struct RankOut {
     time: f64,
     messages: u64,
     bytes: u64,
     store: Store,
-    owned: Vec<(String, Vec<(Vec<i64>, f64)>)>,
+    owned: Vec<(String, OwnedElems)>,
 }
 
 struct Rank<'a> {
@@ -413,7 +427,7 @@ impl Rank<'_> {
         proc_rank: u32,
         data_rank: u32,
         outer: &Env,
-    ) -> Result<Vec<(usize, Vec<Vec<i64>>)>, SimError> {
+    ) -> Result<PartnerTuples, SimError> {
         let mut env = self.env.clone();
         for (k, v) in outer {
             env.insert(k.clone(), *v);
@@ -486,10 +500,7 @@ impl Rank<'_> {
                 let mut step = *step;
                 // Partner loop over a virtual-processor dimension: step by
                 // the block size, starting at the first real VP >= lo.
-                if let Some(d) = var
-                    .strip_prefix('q')
-                    .and_then(|s| s.parse::<usize>().ok())
-                {
+                if let Some(d) = var.strip_prefix('q').and_then(|s| s.parse::<usize>().ok()) {
                     if let Some(spec) = self.program.proc_dims.get(d - 1) {
                         if let ProcCoord::BlockVp { bsize, .. } = &spec.coord {
                             let bs = self.env[bsize.as_str()];

@@ -35,7 +35,11 @@ impl std::error::Error for SimError {}
 
 /// Evaluates an expression to `f64` against a store, with an optional
 /// overlay of integer loop-variable bindings (checked first).
-pub fn eval_f64_in(e: &Expr, store: &Store, env: Option<&HashMap<String, i64>>) -> Result<f64, SimError> {
+pub fn eval_f64_in(
+    e: &Expr,
+    store: &Store,
+    env: Option<&HashMap<String, i64>>,
+) -> Result<f64, SimError> {
     Ok(match e {
         Expr::Int(v) => *v as f64,
         Expr::Real(v) => *v,
@@ -98,7 +102,11 @@ fn bool_val(b: bool) -> f64 {
 }
 
 /// Evaluates an expression to `i64`, with an optional integer overlay.
-pub fn eval_int_in(e: &Expr, store: &Store, env: Option<&HashMap<String, i64>>) -> Result<i64, SimError> {
+pub fn eval_int_in(
+    e: &Expr,
+    store: &Store,
+    env: Option<&HashMap<String, i64>>,
+) -> Result<i64, SimError> {
     Ok(match e {
         Expr::Int(v) => *v,
         Expr::Real(v) => *v as i64,
@@ -144,7 +152,11 @@ pub fn eval_bool(e: &Expr, store: &Store) -> Result<bool, SimError> {
 }
 
 /// Evaluates a condition with an integer overlay (nonzero = true).
-pub fn eval_bool_in(e: &Expr, store: &Store, env: Option<&HashMap<String, i64>>) -> Result<bool, SimError> {
+pub fn eval_bool_in(
+    e: &Expr,
+    store: &Store,
+    env: Option<&HashMap<String, i64>>,
+) -> Result<bool, SimError> {
     Ok(eval_f64_in(e, store, env)? != 0.0)
 }
 

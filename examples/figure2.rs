@@ -4,8 +4,9 @@
 //!
 //! Run with: `cargo run --example figure2`
 
-use dhpf::core::{build_layouts, collect_statements, cp_map};
+use dhpf::core::{build_layouts_in, collect_statements, cp_map};
 use dhpf::hpf::{analyze, parse};
+use dhpf_omega::Context;
 
 const SRC: &str = "
 program fig2
@@ -29,12 +30,23 @@ end
 fn main() {
     let prog = parse(SRC).expect("parse");
     let analysis = analyze(&prog.units[0]).expect("analyze");
-    let layouts = build_layouts(&analysis);
+    // One shared Omega context: every set built from these layouts reuses
+    // its hash-consed conjuncts and memoized simplifications.
+    let ctx = Context::new();
+    let layouts = build_layouts_in(&analysis, Some(&ctx));
     let stmts = collect_statements(&analysis);
     let s = &stmts[0];
 
     println!("== Figure 2: primitive sets and mappings ==\n");
-    println!("proc  = {{[p] : 0 <= p <= 3}}  (0-based in this implementation)\n");
+
+    // proc, built with the fluent API (equivalently: ctx.parse_set(...)).
+    let proc = ctx
+        .set(1)
+        .names(["p"])
+        .constrain(|c| c.bounds(&c.dim(0), 0, 3))
+        .build();
+    println!("proc  = {proc}  (0-based in this implementation)\n");
+    assert!(proc.contains(&[3], &[]) && !proc.contains(&[4], &[]));
 
     // Layout_A: the paper's
     //   {[p] -> [a1,a2] : max(25p+1,1) <= a2 <= min(25p+25,100), 0 <= a1 <= 99}
@@ -79,4 +91,11 @@ fn main() {
     assert!(!cp.contains_pair(&[1], &[61, 51], &n));
 
     println!("All Figure 2 membership checks passed.");
+    let stats = ctx.stats();
+    println!(
+        "omega cache: {} hits / {} misses ({} conjuncts interned)",
+        stats.total_hits(),
+        stats.total_misses(),
+        stats.interned_conjuncts
+    );
 }

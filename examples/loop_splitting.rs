@@ -31,13 +31,17 @@ end
 ";
 
 fn main() {
-    let mut with = CompileOptions::default();
-    with.spmd = SpmdOptions {
-        loop_splitting: true,
+    let with = CompileOptions {
+        spmd: SpmdOptions {
+            loop_splitting: true,
+        },
+        ..CompileOptions::default()
     };
-    let mut without = CompileOptions::default();
-    without.spmd = SpmdOptions {
-        loop_splitting: false,
+    let without = CompileOptions {
+        spmd: SpmdOptions {
+            loop_splitting: false,
+        },
+        ..CompileOptions::default()
     };
 
     for (label, opts) in [("WITH splitting", &with), ("WITHOUT splitting", &without)] {

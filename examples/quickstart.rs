@@ -5,12 +5,13 @@
 //! Run with: `cargo run --example quickstart`
 
 use dhpf::core::{
-    build_layouts, collect_statements, comm_sets, cp_map, myid_set, CommRef, NestOp, SpmdItem,
+    build_layouts_in, collect_statements, comm_sets, cp_map, myid_set, CommRef, NestOp, SpmdItem,
 };
 use dhpf::core::{compile, CompileOptions};
 use dhpf::hpf::{analyze, parse};
 use dhpf::sim::{run_serial, simulate, MachineModel};
 use dhpf_codegen::emit_fortran;
+use dhpf_omega::Context;
 use std::collections::HashMap;
 
 const SRC: &str = "
@@ -37,8 +38,27 @@ fn main() {
     println!("arrays: {:?}\n", analysis.arrays.keys().collect::<Vec<_>>());
 
     // --- 2. The integer sets behind the analysis ----------------------
-    let layouts = build_layouts(&analysis);
-    println!("Layout of b (virtual-processor BLOCK):\n  {}\n", layouts["b"].rel);
+    // All Omega operations share one Context: conjuncts are hash-consed
+    // and simplification / satisfiability results are memoized.
+    let ctx = Context::new();
+
+    // Sets can be parsed (with real errors, not panics) ...
+    let halo = ctx
+        .parse_set("{[i] : 1 <= i <= 2 || 99 <= i <= 100}")
+        .expect("valid set syntax");
+    // ... or assembled with the fluent builder.
+    let interior = ctx
+        .set(1)
+        .names(["i"])
+        .constrain(|c| c.bounds(&c.dim(0), 3, 98))
+        .build();
+    assert!(halo.intersection(&interior).is_empty());
+
+    let layouts = build_layouts_in(&analysis, Some(&ctx));
+    println!(
+        "Layout of b (virtual-processor BLOCK):\n  {}\n",
+        layouts["b"].rel
+    );
     let stmts = collect_statements(&analysis);
     let shift = &stmts[1]; // a(i) = b(i+1) + b(i)
     let cp = cp_map(shift, &layouts);
@@ -54,10 +74,22 @@ fn main() {
         })
         .collect();
     let sets = comm_sets(&refs, &[], &layouts["b"]);
-    println!("RecvCommMap(m) — coalesced for both reads of b:\n  {}\n", sets.recv_map);
+    println!(
+        "RecvCommMap(m) — coalesced for both reads of b:\n  {}\n",
+        sets.recv_map
+    );
 
     // --- 3. Compile to an SPMD program ---------------------------------
+    // The driver creates its own shared context (CompileOptions::use_cache,
+    // on by default) and reports the cache counters.
     let compiled = compile(SRC, &CompileOptions::default()).expect("compile");
+    let cache = &compiled.report.cache;
+    println!(
+        "omega cache during compilation: {} hits / {} misses ({:.0}% hit rate)\n",
+        cache.total_hits(),
+        cache.total_misses(),
+        100.0 * cache.hit_rate()
+    );
     for item in &compiled.program.items {
         if let SpmdItem::Nest(n) = item {
             println!("generated SPMD nest (split = {}):", n.split);

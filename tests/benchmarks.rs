@@ -11,10 +11,7 @@ const ERLEBACHER: &str = include_str!("../benchmarks/erlebacher.hpf");
 const JACOBI: &str = include_str!("../benchmarks/jacobi.hpf");
 
 fn validate(src: &str, grids: &[&[i64]], inputs: &[(&str, i64)]) {
-    let inputs: HashMap<String, i64> = inputs
-        .iter()
-        .map(|&(k, v)| (k.to_string(), v))
-        .collect();
+    let inputs: HashMap<String, i64> = inputs.iter().map(|&(k, v)| (k.to_string(), v)).collect();
     let compiled = compile(src, &CompileOptions::default()).expect("compile");
     let (serial, _) = run_serial(&compiled.analysis, &inputs).expect("serial");
     for grid in grids {
@@ -47,10 +44,7 @@ fn tomcatv_small_matches_serial() {
 
 #[test]
 fn erlebacher_small_matches_serial() {
-    let src = ERLEBACHER.replace(
-        "parameter (n = 32, nz = 32)",
-        "parameter (n = 12, nz = 12)",
-    );
+    let src = ERLEBACHER.replace("parameter (n = 32, nz = 32)", "parameter (n = 12, nz = 12)");
     validate(&src, &[&[1], &[2], &[4]], &[]);
 }
 
@@ -80,19 +74,14 @@ fn tomcatv_parallel_beats_serial_time() {
 
 #[test]
 fn erlebacher_pipeline_sends_messages() {
-    let src = ERLEBACHER.replace(
-        "parameter (n = 32, nz = 32)",
-        "parameter (n = 12, nz = 12)",
-    );
+    let src = ERLEBACHER.replace("parameter (n = 32, nz = 32)", "parameter (n = 12, nz = 12)");
     let compiled = compile(&src, &CompileOptions::default()).expect("compile");
-    let r = simulate(
-        &compiled,
-        &[3],
-        &HashMap::new(),
-        &MachineModel::sp2(),
-    )
-    .expect("simulate");
+    let r = simulate(&compiled, &[3], &HashMap::new(), &MachineModel::sp2()).expect("simulate");
     // Pipelined sweeps produce per-iteration messages: strictly more than
     // the two vectorized boundary exchanges would.
-    assert!(r.messages > 4, "expected pipeline traffic, got {}", r.messages);
+    assert!(
+        r.messages > 4,
+        "expected pipeline traffic, got {}",
+        r.messages
+    );
 }

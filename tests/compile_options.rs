@@ -56,6 +56,7 @@ fn splitting_toggle_changes_structure_not_comm() {
             spmd: SpmdOptions {
                 loop_splitting: true,
             },
+            ..CompileOptions::default()
         },
     )
     .unwrap();
@@ -65,6 +66,7 @@ fn splitting_toggle_changes_structure_not_comm() {
             spmd: SpmdOptions {
                 loop_splitting: false,
             },
+            ..CompileOptions::default()
         },
     )
     .unwrap();
@@ -95,7 +97,10 @@ fn split_nest_defers_receive_past_local_code() {
         let recv = txt.find("RECV").expect("recv present");
         let first_compute = txt.find("COMPUTE").expect("compute present");
         assert!(send < first_compute, "send precedes local compute:\n{txt}");
-        assert!(recv > first_compute, "recv deferred past local compute:\n{txt}");
+        assert!(
+            recv > first_compute,
+            "recv deferred past local compute:\n{txt}"
+        );
         return;
     }
     panic!("no split nest found");
@@ -106,7 +111,10 @@ fn stats_count_vectorized_and_contiguous() {
     let c = compile(STENCIL, &CompileOptions::default()).unwrap();
     assert_eq!(c.report.stats.comm_events, 1, "one coalesced halo exchange");
     assert_eq!(c.report.stats.fully_vectorized, 1);
-    assert_eq!(c.report.stats.coalesced_groups, 1, "b(i-1) and b(i+1) coalesce");
+    assert_eq!(
+        c.report.stats.coalesced_groups, 1,
+        "b(i-1) and b(i+1) coalesce"
+    );
     // The coalesced event receives *both* halo elements (b[lo-1] and
     // b[hi+1]) — a non-convex union, so §3.3 correctly reports the event
     // as not provably contiguous (each per-partner message alone would

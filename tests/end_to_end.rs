@@ -7,10 +7,7 @@ use dhpf::sim::{run_serial, simulate, MachineModel};
 use std::collections::HashMap;
 
 fn check(src: &str, grids: &[&[i64]], inputs: &[(&str, i64)]) {
-    let inputs: HashMap<String, i64> = inputs
-        .iter()
-        .map(|&(k, v)| (k.to_string(), v))
-        .collect();
+    let inputs: HashMap<String, i64> = inputs.iter().map(|&(k, v)| (k.to_string(), v)).collect();
     let compiled = compile(src, &CompileOptions::default()).unwrap_or_else(|e| {
         panic!("compile failed: {e}");
     });
