@@ -5,11 +5,13 @@
 
 use dhpf_core::spmd::SpmdOptions;
 use dhpf_core::{compile, CompileOptions};
-use dhpf_sim::{simulate, MachineModel};
+use dhpf_sim::{simulate_with, MachineModel};
 use std::collections::HashMap;
 
 fn main() {
-    let use_cache = !std::env::args().any(|a| a == "--no-cache");
+    let args: Vec<String> = std::env::args().collect();
+    let use_cache = !args.iter().any(|a| a == "--no-cache");
+    let trace = dhpf_bench::traceopt::from_args_env(&args);
     let inputs: HashMap<String, i64> = [("niter".to_string(), 3i64)].into_iter().collect();
     println!("Ablation: Figure-4 loop splitting (TOMCATV 257x257)");
     if !use_cache {
@@ -25,10 +27,17 @@ fn main() {
                     loop_splitting: split,
                 },
                 use_cache,
+                trace: trace.as_ref().map(|t| t.collector.clone()),
             };
             let compiled = compile(dhpf_bench::sources::TOMCATV, &opts).expect("compile tomcatv");
-            let r =
-                simulate(&compiled, &[p], &inputs, &MachineModel::sp2()).expect("simulate tomcatv");
+            let r = simulate_with(
+                &compiled,
+                &[p],
+                &inputs,
+                &MachineModel::sp2(),
+                trace.as_ref().map(|t| &t.collector),
+            )
+            .expect("simulate tomcatv");
             times.push(r.time);
         }
         println!(
@@ -38,5 +47,14 @@ fn main() {
             times[1],
             100.0 * (times[0] - times[1]) / times[0]
         );
+    }
+    if let Some(t) = &trace {
+        match t.write() {
+            Ok(_) => println!("\ntrace written to {}", t.path.display()),
+            Err(e) => {
+                eprintln!("failed to write trace {}: {e}", t.path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }

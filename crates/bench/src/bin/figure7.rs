@@ -1,13 +1,28 @@
 //! Prints the Figure 7 reproduction.
+//!
+//! Pass `--trace-out <path>` (or set `DHPF_TRACE`) to dump compile +
+//! simulate spans with per-run message/byte counters.
 fn main() {
-    let procs: Vec<i64> = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().collect();
+    let trace = dhpf_bench::traceopt::from_args_env(&args);
+    let procs: Vec<i64> = args
+        .get(1)
+        .filter(|s| !s.starts_with("--"))
         .map(|s| {
             s.split(',')
                 .map(|x| x.parse().expect("processor count"))
                 .collect()
         })
         .unwrap_or_else(|| vec![1, 2, 4, 8, 16]);
-    let curves = dhpf_bench::figure7::run(&procs);
+    let curves = dhpf_bench::figure7::run_traced(&procs, trace.as_ref().map(|t| &t.collector));
     println!("{}", dhpf_bench::figure7::render(&curves));
+    if let Some(t) = &trace {
+        match t.write() {
+            Ok(_) => println!("trace written to {}", t.path.display()),
+            Err(e) => {
+                eprintln!("failed to write trace {}: {e}", t.path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -2,10 +2,31 @@
 //!
 //! Pass `--no-cache` to disable the shared Omega context (hash-consing +
 //! memoized simplification) and reproduce the uncached compile times.
+//! Pass `--trace-out <path>` (or set `DHPF_TRACE`) to dump the structured
+//! compile trace: `.jsonl` for JSON lines, anything else for Chrome
+//! `trace_event` JSON.
 fn main() {
-    let use_cache = !std::env::args().any(|a| a == "--no-cache");
+    let args: Vec<String> = std::env::args().collect();
+    let use_cache = !args.iter().any(|a| a == "--no-cache");
+    let trace = dhpf_bench::traceopt::from_args_env(&args);
     if !use_cache {
         println!("(omega context cache disabled via --no-cache)\n");
     }
-    println!("{}", dhpf_bench::table1::run_with(use_cache));
+    let table = match &trace {
+        Some(t) => dhpf_bench::table1::run_traced(use_cache, &t.collector),
+        None => dhpf_bench::table1::run_with(use_cache),
+    };
+    println!("{table}");
+    if let Some(t) = &trace {
+        match t.write() {
+            Ok(tree) => {
+                println!("{tree}");
+                println!("trace written to {}", t.path.display());
+            }
+            Err(e) => {
+                eprintln!("failed to write trace {}: {e}", t.path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

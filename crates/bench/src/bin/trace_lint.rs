@@ -1,0 +1,93 @@
+//! CI gate for the structured trace pipeline: compiles an HPF source with
+//! tracing enabled, writes the trace in the format the extension implies,
+//! re-reads the file, and validates it against the schema.
+//!
+//! Usage: `trace_lint [<file.hpf>] [--trace-out <path>]`
+//!
+//! Defaults to `benchmarks/jacobi.hpf` (falling back to the embedded copy
+//! when run outside the repo) and a `trace_lint.json` file in the system
+//! temp directory. Exits nonzero on any schema violation, on a trace with
+//! no satisfiability samples, or when the span totals fail to reconcile
+//! with the compiler's own Table-1 rows.
+
+use dhpf_bench::traceopt::TraceOut;
+use dhpf_core::{compile, CompileOptions};
+use dhpf_obs::export::{validate_chrome_trace, validate_json_lines};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_lint: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let src_path = args.get(1).filter(|a| !a.starts_with("--")).cloned();
+    let src = match &src_path {
+        Some(p) => {
+            std::fs::read_to_string(p).unwrap_or_else(|e| fail(&format!("cannot read {p}: {e}")))
+        }
+        None => dhpf_bench::sources::JACOBI.to_string(),
+    };
+    let out = dhpf_bench::traceopt::from_args_env(&args).unwrap_or_else(|| TraceOut {
+        path: std::env::temp_dir().join("trace_lint.json"),
+        collector: dhpf_obs::Collector::new(),
+    });
+
+    let opts = CompileOptions {
+        trace: Some(out.collector.clone()),
+        ..CompileOptions::default()
+    };
+    let compiled = compile(&src, &opts).unwrap_or_else(|e| fail(&format!("compile: {e}")));
+
+    out.write()
+        .unwrap_or_else(|e| fail(&format!("write {}: {e}", out.path.display())));
+    let text = std::fs::read_to_string(&out.path)
+        .unwrap_or_else(|e| fail(&format!("re-read {}: {e}", out.path.display())));
+
+    let summary = if out.path.extension().is_some_and(|e| e == "jsonl") {
+        validate_json_lines(&text)
+    } else {
+        validate_chrome_trace(&text)
+    }
+    .unwrap_or_else(|e| fail(&format!("schema: {e}")));
+
+    if summary.events == 0 {
+        fail("trace has no events");
+    }
+    let sat = summary.op_calls;
+    if sat == 0 {
+        fail("trace has no set-operation samples (satisfiability etc.)");
+    }
+    let trace = out.collector.trace();
+    let ops = trace.total_ops();
+    if ops.get("satisfiability").map_or(0, |o| o.calls) == 0 {
+        fail("no satisfiability calls recorded");
+    }
+
+    // Reconcile: the root compile span's cumulative time must bracket the
+    // compiler's own total within 5% (they time the same interval from the
+    // same thread; divergence means spans are being mis-closed).
+    let roots = trace.roots();
+    let compile_root = roots
+        .iter()
+        .copied()
+        .find(|&i| trace.nodes[i].name == "compile")
+        .unwrap_or_else(|| fail("no compile root span"));
+    let span_s = trace.nodes[compile_root].dur_ns as f64 / 1e9;
+    let rows_s = compiled.report.timers.total().as_secs_f64();
+    let rel = (span_s - rows_s).abs() / rows_s.max(1e-9);
+    if rel > 0.05 {
+        fail(&format!(
+            "compile span ({span_s:.6}s) and Table-1 total ({rows_s:.6}s) diverge by {:.1}%",
+            100.0 * rel
+        ));
+    }
+
+    println!(
+        "trace_lint: OK: {} events, {} op samples, compile span within {:.2}% of timer total ({})",
+        summary.events,
+        sat,
+        100.0 * rel,
+        out.path.display()
+    );
+}

@@ -3,7 +3,8 @@
 //! one-processor run (T(1)/T(P)).
 
 use dhpf_core::{compile, CompileOptions, Compiled};
-use dhpf_sim::{simulate, MachineModel};
+use dhpf_obs::Collector;
+use dhpf_sim::{simulate_with, MachineModel, RankComm};
 use std::collections::HashMap;
 
 /// One speedup curve: a benchmark at one problem size.
@@ -19,6 +20,8 @@ pub struct Curve {
     pub messages: u64,
     /// Total payload bytes at the largest P.
     pub bytes: u64,
+    /// Per-rank communication activity at the largest P.
+    pub comm: Vec<RankComm>,
 }
 
 /// Grid shapes per benchmark: maps total P to per-dimension counts.
@@ -46,12 +49,36 @@ pub fn curve(
     inputs: &[(&str, i64)],
     procs: &[i64],
 ) -> Curve {
+    curve_with(bench, src, size_label, size, inputs, procs, None)
+}
+
+/// [`curve`] with an optional trace collector: the compilation and every
+/// simulated configuration record spans (with message/byte counters) on
+/// it, grouped under one `"<bench> (<size>)"` span.
+///
+/// # Panics
+///
+/// Panics if compilation or simulation fails (harness inputs are fixed).
+#[allow(clippy::too_many_arguments)]
+pub fn curve_with(
+    bench: &str,
+    src: &str,
+    size_label: &str,
+    size: Option<(&str, &str)>,
+    inputs: &[(&str, i64)],
+    procs: &[i64],
+    trace: Option<&Collector>,
+) -> Curve {
     let src = match size {
         Some((from, to)) => src.replace(from, to),
         None => src.to_string(),
     };
-    let compiled: Compiled =
-        compile(&src, &CompileOptions::default()).unwrap_or_else(|e| panic!("{bench}: {e}"));
+    let span = trace.map(|c| (c, c.begin(&format!("{bench} ({size_label})"), "figure7")));
+    let opts = CompileOptions {
+        trace: trace.cloned(),
+        ..CompileOptions::default()
+    };
+    let compiled: Compiled = compile(&src, &opts).unwrap_or_else(|e| panic!("{bench}: {e}"));
     let inputs: HashMap<String, i64> = inputs.iter().map(|&(k, v)| (k.to_string(), v)).collect();
     let machine = MachineModel::sp2();
     let mut points = Vec::new();
@@ -61,10 +88,11 @@ pub fn curve(
     // ("speedups ... are computed relative to the 4-processor speedup").
     let mut base: Option<(i64, f64)> = None;
     let mut last = (0u64, 0u64);
+    let mut comm = Vec::new();
     for &p in procs {
         let grid = grid_for(bench, p);
         let total: i64 = grid.iter().product();
-        let r = simulate(&compiled, &grid, &inputs, &machine)
+        let r = simulate_with(&compiled, &grid, &inputs, &machine, trace)
             .unwrap_or_else(|e| panic!("{bench} P={p}: {e}"));
         let t = r.time;
         let (p0, t0) = *base.get_or_insert((total, t));
@@ -72,6 +100,10 @@ pub fn curve(
             points.push((total, t, p0 as f64 * t0 / t));
         }
         last = (r.messages, r.bytes);
+        comm = r.comm;
+    }
+    if let Some((c, id)) = span {
+        c.end(id);
     }
     Curve {
         bench: bench.to_string(),
@@ -79,6 +111,7 @@ pub fn curve(
         points,
         messages: last.0,
         bytes: last.1,
+        comm,
     }
 }
 
@@ -87,54 +120,66 @@ pub fn curve(
 /// Simulated sizes are scaled down from the paper's (which ran minutes on a
 /// real SP-2); the *shape* of each curve is the reproduction target.
 pub fn run(procs: &[i64]) -> Vec<Curve> {
+    run_traced(procs, None)
+}
+
+/// [`run`] with an optional trace collector threaded through every
+/// compilation and simulation.
+pub fn run_traced(procs: &[i64], trace: Option<&Collector>) -> Vec<Curve> {
     vec![
-        curve(
+        curve_with(
             "TOMCATV",
             crate::sources::TOMCATV,
             "129x129",
             Some(("parameter (n = 257)", "parameter (n = 129)")),
             &[("niter", 3)],
             procs,
+            trace,
         ),
-        curve(
+        curve_with(
             "TOMCATV",
             crate::sources::TOMCATV,
             "257x257",
             None,
             &[("niter", 3)],
             procs,
+            trace,
         ),
-        curve(
+        curve_with(
             "ERLEBACHER",
             crate::sources::ERLEBACHER,
             "32^3",
             None,
             &[],
             procs,
+            trace,
         ),
-        curve(
+        curve_with(
             "ERLEBACHER",
             crate::sources::ERLEBACHER,
             "64^3",
             Some(("parameter (n = 32, nz = 32)", "parameter (n = 64, nz = 64)")),
             &[],
             procs,
+            trace,
         ),
-        curve(
+        curve_with(
             "JACOBI",
             crate::sources::JACOBI,
             "128x128",
             None,
             &[("niter", 3)],
             procs,
+            trace,
         ),
-        curve(
+        curve_with(
             "JACOBI",
             crate::sources::JACOBI,
             "256x256",
             Some(("parameter (n = 128)", "parameter (n = 256)")),
             &[("niter", 3)],
             procs,
+            trace,
         ),
     ]
 }
@@ -149,10 +194,27 @@ pub fn render(curves: &[Curve]) -> String {
         for (p, t, s) in &c.points {
             out.push_str(&format!("  {:<4} {:>9.4} {:>9.2}\n", p, t, s));
         }
+        let inplace: u64 = c.comm.iter().map(|rc| rc.inplace_sends).sum();
+        let buffered: u64 = c.comm.iter().map(|rc| rc.buffered_sends).sum();
         out.push_str(&format!(
-            "  [largest P: {} messages, {} payload bytes]\n",
-            c.messages, c.bytes
+            "  [largest P: {} messages, {} payload bytes; {} in-place / {} buffered sends]\n",
+            c.messages, c.bytes, inplace, buffered
         ));
+        // Per-VP activity: how evenly the communication volume spreads.
+        if c.comm.len() > 1 {
+            let busiest = c
+                .comm
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, rc)| rc.sent_bytes)
+                .map(|(k, rc)| (k, rc.sent_messages, rc.sent_bytes))
+                .unwrap_or((0, 0, 0));
+            let idle = c.comm.iter().filter(|rc| rc.sent_messages == 0).count();
+            out.push_str(&format!(
+                "  [busiest rank {}: {} msgs / {} bytes sent; {} silent rank(s)]\n",
+                busiest.0, busiest.1, busiest.2, idle
+            ));
+        }
     }
     out
 }

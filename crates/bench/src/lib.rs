@@ -13,6 +13,7 @@
 pub mod figure7;
 pub mod table1;
 pub mod timing;
+pub mod traceopt;
 
 /// The benchmark HPF sources, embedded so the harness runs anywhere.
 pub mod sources {

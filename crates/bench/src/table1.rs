@@ -6,7 +6,8 @@
 //! analysis/code-generation phase, including the share spent in
 //! multiple-mappings code generation (the integer-set framework's cost).
 
-use dhpf_core::{compile, CompileOptions, Compiled};
+use dhpf_core::{compile, CompileOptions, Compiled, PhaseRow};
+use dhpf_obs::Collector;
 use std::time::Duration;
 
 /// One column of Table 1.
@@ -18,6 +19,9 @@ pub struct Column {
     pub total: Duration,
     /// `(phase, time, percent-of-total)` rows.
     pub rows: Vec<(String, Duration, f64)>,
+    /// The same rows with nesting depth and self time (child rows are the
+    /// ones rendered indented, as in the paper's table).
+    pub nested: Vec<PhaseRow>,
     /// The compiled artifact (for stats).
     pub compiled: Compiled,
 }
@@ -52,10 +56,33 @@ pub fn column_with(name: &str, src: &str, use_cache: bool) -> Column {
     if second.report.timers.total() < compiled.report.timers.total() {
         compiled = second;
     }
+    finish_column(name, compiled)
+}
+
+/// [`column_with`] recording the compilation on `trace`. Tracing runs one
+/// trial only, so the exported trace reconciles 1:1 with the printed rows
+/// (the min-of-two-trials noise suppression would leave orphan spans from
+/// the discarded trial).
+///
+/// # Panics
+///
+/// Panics if the variant fails to compile (the harness inputs are fixed).
+pub fn column_traced(name: &str, src: &str, use_cache: bool, trace: &Collector) -> Column {
+    let opts = CompileOptions {
+        use_cache,
+        trace: Some(trace.clone()),
+        ..CompileOptions::default()
+    };
+    let compiled = compile(src, &opts).unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+    finish_column(name, compiled)
+}
+
+fn finish_column(name: &str, compiled: Compiled) -> Column {
     Column {
         name: name.to_string(),
         total: compiled.report.timers.total(),
         rows: compiled.report.timers.rows(),
+        nested: compiled.report.timers.rows_nested(),
         compiled,
     }
 }
@@ -88,6 +115,16 @@ pub fn run_with(use_cache: bool) -> String {
     render(&[sp4, spsym, tsym])
 }
 
+/// Runs Table 1 recording every compilation on `trace` (one trial per
+/// variant, see [`column_traced`]).
+pub fn run_traced(use_cache: bool, trace: &Collector) -> String {
+    let sp4 = column_traced("SP-4", dhpf_bench_sources_sp(), use_cache, trace);
+    let spsym_src = crate::sources::sp_symbolic();
+    let spsym = column_traced("SP-sym", &spsym_src, use_cache, trace);
+    let tsym = column_traced("T-sym", crate::sources::TOMCATV, use_cache, trace);
+    render(&[sp4, spsym, tsym])
+}
+
 fn dhpf_bench_sources_sp() -> &'static str {
     crate::sources::SP
 }
@@ -107,7 +144,17 @@ pub fn render(cols: &[Column]) -> String {
     }
     out.push('\n');
     for phase in PHASES {
-        out.push_str(&format!("{:<34}", phase));
+        // Child phases (nonzero nesting depth in any column) render
+        // indented, mirroring the paper's sub-rows of "module compilation".
+        let depth = cols
+            .iter()
+            .flat_map(|c| c.nested.iter())
+            .filter(|r| r.name == *phase)
+            .map(|r| r.depth)
+            .max()
+            .unwrap_or(0);
+        let label = format!("{}{}", "  ".repeat(depth), phase);
+        out.push_str(&format!("{label:<34}"));
         for c in cols {
             let pct = c
                 .rows
@@ -144,9 +191,14 @@ pub fn render(cols: &[Column]) -> String {
         ));
         for (op, counts) in cache.rows() {
             if counts.hits + counts.misses > 0 {
+                let total = (counts.hits + counts.misses) as f64;
                 out.push_str(&format!(
-                    "    {:<10} hits {:>6}, misses {:>6}\n",
-                    op, counts.hits, counts.misses
+                    "    {:<14} hits {:>6}, misses {:>6}, hit rate {:>5.1}%, evictions {:>2}\n",
+                    op,
+                    counts.hits,
+                    counts.misses,
+                    100.0 * counts.hits as f64 / total,
+                    counts.evictions,
                 ));
             }
         }

@@ -4,6 +4,7 @@ use crate::layout::build_layouts_in;
 use crate::phases::PhaseTimers;
 use crate::spmd::{build_spmd, CompileError, SpmdOptions, SpmdProgram, SpmdStats};
 use dhpf_hpf::{analyze, parse, Analysis};
+use dhpf_obs::Collector;
 use dhpf_omega::{CacheStats, Context};
 
 /// Options controlling compilation.
@@ -15,6 +16,12 @@ pub struct CompileOptions {
     /// whole compilation. Disabling it reproduces the uncached behaviour
     /// (the `--no-cache` ablation of the benchmarks).
     pub use_cache: bool,
+    /// Structured trace collector. When set, the compilation records a
+    /// span tree (one `"compile"` root, one span per phase) with per-span
+    /// Omega set-operation samples; export it with `dhpf_obs::export`.
+    /// Tracing observes the compilation without perturbing it: the
+    /// produced [`SpmdProgram`] is identical with or without a collector.
+    pub trace: Option<Collector>,
 }
 
 impl Default for CompileOptions {
@@ -22,6 +29,7 @@ impl Default for CompileOptions {
         CompileOptions {
             spmd: SpmdOptions::default(),
             use_cache: true,
+            trace: None,
         }
     }
 }
@@ -62,6 +70,17 @@ pub struct CompileReport {
 /// Returns [`CompileError`] for frontend, semantic, or synthesis failures.
 pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileError> {
     let mut timers = PhaseTimers::new();
+    // One "compile" root span per compilation; phase spans opened by the
+    // timers and the Omega op samples recorded by the context both nest
+    // under it (ops land on whichever phase span is innermost when they
+    // run, giving the per-phase set-op breakdown).
+    let root = opts
+        .trace
+        .as_ref()
+        .map(|c| (c.clone(), c.begin("compile", "compile")));
+    if let Some(c) = &opts.trace {
+        timers.attach_collector(c.clone());
+    }
     // One shared hash-consing/memoization arena per compilation: attached
     // to the layout relations, it propagates to every derived set.
     let ctx = if opts.use_cache {
@@ -69,6 +88,7 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileErro
     } else {
         Context::disabled()
     };
+    ctx.set_collector(opts.trace.clone());
     let prog = timers.time("parsing", |_| parse(src))?;
     if prog.units.is_empty() {
         return Err(CompileError::Unsupported("no program units".to_string()));
@@ -113,6 +133,12 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileErro
     timers.finish();
     let cache = ctx.stats();
     timers.set_cache_stats(cache.clone());
+    if let Some((c, id)) = root {
+        c.counter_on(id, "units", units as i64);
+        c.counter_on(id, "comm events", stats.comm_events as i64);
+        c.end(id);
+    }
+    ctx.set_collector(None);
     Ok(Compiled {
         program,
         analysis: analyses.into_iter().nth(main_idx).expect("main analysis"),

@@ -27,7 +27,7 @@ pub use driver::{compile, CompileOptions, CompileReport, Compiled};
 pub use inplace::{contiguity, Contiguity, RuntimeCheck};
 pub use ir::{collect_statements, ArrayRef, LoopContext, ReduceOp, Reduction, StmtInfo};
 pub use layout::{build_layouts, build_layouts_in, Layout, ProcCoord};
-pub use phases::PhaseTimers;
+pub use phases::{PhaseRow, PhaseTimers};
 pub use split::{split_sets, SplitSets};
 pub use spmd::{
     build_spmd, CommEvent, CompileError, CompiledStmt, NestItem, NestOp, SpmdItem, SpmdOptions,

@@ -173,7 +173,7 @@ pub struct SpmdProgram {
 }
 
 /// Statistics gathered during synthesis (feeds the Table 1 harness).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SpmdStats {
     /// Number of communication events generated.
     pub comm_events: usize,
@@ -217,12 +217,17 @@ pub(crate) struct Synth<'a> {
 
 impl Synth<'_> {
     fn time<T>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> T) -> T {
-        // PhaseTimers::time needs &mut PhaseTimers; emulate with manual timing
-        // so we can keep borrowing self.
+        // PhaseTimers::time needs &mut PhaseTimers; emulate with open/close
+        // so we can keep borrowing self while nested phases still link to
+        // their parent (no double-counted self time).
+        if let Some(t) = self.timers.as_mut() {
+            t.open(name);
+        }
         let t0 = std::time::Instant::now();
         let out = f(self);
+        let dt = t0.elapsed();
         if let Some(t) = self.timers.as_mut() {
-            t.add(name, t0.elapsed());
+            t.close(name, dt);
         }
         out
     }
@@ -973,12 +978,9 @@ fn push_event(
     recv_map: &Relation,
     level: u32,
 ) -> Result<usize, CompileError> {
-    let t0 = std::time::Instant::now();
-    let id = push_event_inner(synth, array, send_map, recv_map, level);
-    if let Some(t) = synth.timers.as_mut() {
-        t.add("communication generation", t0.elapsed());
-    }
-    id
+    synth.time("communication generation", |sy| {
+        push_event_inner(sy, array, send_map, recv_map, level)
+    })
 }
 
 fn push_event_inner(

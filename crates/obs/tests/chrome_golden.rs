@@ -1,0 +1,83 @@
+//! Golden-file test for the Chrome `trace_event` exporter.
+//!
+//! The synthetic trace below is fully deterministic except for wall-clock
+//! offsets/durations, which [`dhpf_obs::export::chrome_trace_redacted`]
+//! forces to zero; the redacted output must match the checked-in golden
+//! byte-for-byte (stable field ordering, stable escaping). Regenerate with
+//! `BLESS=1 cargo test -p dhpf-obs --test chrome_golden` after an
+//! intentional format change.
+
+use dhpf_obs::export::{chrome_trace_redacted, validate_chrome_trace};
+use dhpf_obs::json;
+use dhpf_obs::Collector;
+use std::time::Duration;
+
+fn sample_trace() -> dhpf_obs::Trace {
+    let c = Collector::new();
+    let compile = c.begin("compile", "compile");
+    {
+        let _phase = c.guard("communication \"gen\"", "phase");
+        c.record_op("satisfiability", Duration::from_micros(5), 3);
+        c.record_op("satisfiability", Duration::from_micros(7), 70);
+        c.record_op("fme projection", Duration::from_micros(9), 12);
+        c.add_counter("comm events", 2);
+    }
+    c.record_span("opt of generated code", "phase", Duration::from_micros(10));
+    c.end(compile);
+    c.add_counter("messages", 42); // orphan: lands on "(unattributed)"
+    c.trace()
+}
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/chrome_trace.json"
+);
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let got = chrome_trace_redacted(&sample_trace());
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH).expect("golden file present");
+    assert_eq!(
+        got, want,
+        "redacted Chrome trace drifted from the golden; \
+         rerun with BLESS=1 if the change is intentional"
+    );
+}
+
+/// Beyond byte equality: assert the structural properties the golden
+/// encodes, so a blessed regression is still caught by review.
+#[test]
+fn golden_structure() {
+    let text = chrome_trace_redacted(&sample_trace());
+    let sum = validate_chrome_trace(&text).expect("schema-valid");
+    assert_eq!(sum.events, 4); // compile, phase, opt, (unattributed)
+    assert_eq!(sum.op_calls, 3);
+    assert_eq!(sum.counters["comm events"], 2);
+    assert_eq!(sum.counters["messages"], 42);
+
+    // Field order of every event is fixed: ph, name, cat, pid, tid, ts,
+    // dur, args — the contract chrome://tracing's streaming parser and our
+    // golden rely on.
+    let root = json::parse(&text).unwrap();
+    for ev in root.get("traceEvents").unwrap().as_arr().unwrap() {
+        let keys: Vec<&str> = ev
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(
+            keys,
+            ["ph", "name", "cat", "pid", "tid", "ts", "dur", "args"]
+        );
+    }
+
+    // No timestamps leak into the redacted form.
+    for ev in root.get("traceEvents").unwrap().as_arr().unwrap() {
+        assert_eq!(ev.get("ts").unwrap().as_f64(), Some(0.0));
+        assert_eq!(ev.get("dur").unwrap().as_f64(), Some(0.0));
+    }
+}

@@ -35,10 +35,12 @@ use crate::relation::Relation;
 use crate::set::Set;
 use crate::var::Var;
 use crate::OmegaError;
+use dhpf_obs::Collector;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Maximum entries per memo table before it is flushed (counted as
 /// evictions). Keeps long compilations bounded; one compilation of the
@@ -211,12 +213,40 @@ struct Arena {
 
 struct Inner {
     enabled: AtomicBool,
+    /// Fast gate for the trace hook: `true` iff `obs` holds a collector.
+    /// Kept separate so the untraced hot path pays one relaxed load.
+    traced: AtomicBool,
+    /// The attached trace collector (see [`Context::set_collector`]).
+    obs: Mutex<Option<Collector>>,
     arena: Mutex<Arena>,
     sat: AtomicCounts,
     eliminate: AtomicCounts,
     negate: AtomicCounts,
     gist: AtomicCounts,
     simplify: AtomicCounts,
+}
+
+/// RAII sample of one set operation: on drop, records the call (count,
+/// duration, input-size histogram) on the attached collector's innermost
+/// open span. Declared *first* in each memoized operation so it drops
+/// *last* — after the arena `MutexGuard` — keeping the collector's lock
+/// disjoint from the arena's.
+struct OpTrace {
+    obs: Collector,
+    op: &'static str,
+    size: u64,
+    t0: Instant,
+}
+
+impl Drop for OpTrace {
+    fn drop(&mut self) {
+        self.obs.record_op(self.op, self.t0.elapsed(), self.size);
+    }
+}
+
+/// Input size of a per-conjunct operation: its constraint count.
+fn conjunct_size(c: &Conjunct) -> u64 {
+    (c.eqs().len() + c.geqs().len()) as u64
 }
 
 /// A shared hash-consing + memoization context for Omega operations.
@@ -251,6 +281,8 @@ impl Context {
         Context {
             inner: Arc::new(Inner {
                 enabled: AtomicBool::new(true),
+                traced: AtomicBool::new(false),
+                obs: Mutex::new(None),
                 arena: Mutex::new(Arena::default()),
                 sat: AtomicCounts::default(),
                 eliminate: AtomicCounts::default(),
@@ -283,6 +315,42 @@ impl Context {
     /// True if `self` and `other` share one arena.
     pub fn same_as(&self, other: &Context) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Attaches (or with `None`, detaches) a trace collector. While
+    /// attached, every memoizable set operation — satisfiability, FME
+    /// projection, negation, gist, simplify; cache hit or miss alike —
+    /// records a count/duration/size sample on the collector's innermost
+    /// open span. Works with memoization disabled too, so `--no-cache`
+    /// ablations still report their set-operation mix. With no collector
+    /// the hook costs one relaxed atomic load per operation.
+    pub fn set_collector(&self, c: Option<Collector>) {
+        let mut obs = self.inner.obs.lock().unwrap();
+        self.inner.traced.store(c.is_some(), Ordering::Release);
+        *obs = c;
+    }
+
+    /// The attached trace collector, if any.
+    pub fn collector(&self) -> Option<Collector> {
+        if !self.inner.traced.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.inner.obs.lock().unwrap().clone()
+    }
+
+    /// Starts an RAII op sample if a collector is attached (the untraced
+    /// fast path is one relaxed load and no allocation).
+    fn op_trace(&self, op: &'static str, size: u64) -> Option<OpTrace> {
+        if !self.inner.traced.load(Ordering::Relaxed) {
+            return None;
+        }
+        let obs = self.inner.obs.lock().unwrap().clone()?;
+        Some(OpTrace {
+            obs,
+            op,
+            size,
+            t0: Instant::now(),
+        })
     }
 
     /// A snapshot of the cache counters.
@@ -410,6 +478,7 @@ impl Context {
     // work; concurrent ones at worst compute an entry twice.
 
     pub(crate) fn cached_sat(&self, c: &Conjunct, compute: impl FnOnce() -> bool) -> bool {
+        let _t = self.op_trace("satisfiability", conjunct_size(c));
         if !self.is_enabled() {
             return compute();
         }
@@ -440,6 +509,7 @@ impl Context {
         v: Var,
         compute: impl FnOnce() -> Vec<Conjunct>,
     ) -> Vec<Conjunct> {
+        let _t = self.op_trace("fme projection", conjunct_size(c));
         if !self.is_enabled() {
             return compute();
         }
@@ -469,6 +539,7 @@ impl Context {
         c: &Conjunct,
         compute: impl FnOnce() -> Result<Vec<Conjunct>, OmegaError>,
     ) -> Result<Vec<Conjunct>, OmegaError> {
+        let _t = self.op_trace("negation", conjunct_size(c));
         if !self.is_enabled() {
             return compute();
         }
@@ -499,6 +570,7 @@ impl Context {
         given: &Conjunct,
         compute: impl FnOnce() -> Conjunct,
     ) -> Conjunct {
+        let _t = self.op_trace("gist", conjunct_size(c) + conjunct_size(given));
         if !self.is_enabled() {
             return compute();
         }
@@ -530,6 +602,7 @@ impl Context {
         conjuncts: &[Conjunct],
         compute: impl FnOnce() -> Vec<Conjunct>,
     ) -> Vec<Conjunct> {
+        let _t = self.op_trace("simplify", conjuncts.iter().map(conjunct_size).sum());
         if !self.is_enabled() {
             return compute();
         }
@@ -604,6 +677,41 @@ mod tests {
         let stats = ctx.stats();
         assert_eq!(stats.total_hits(), 0);
         assert_eq!(stats.total_misses(), 0);
+    }
+
+    #[test]
+    fn collector_records_set_ops_on_open_span() {
+        let obs = Collector::new();
+        let ctx = Context::new();
+        ctx.set_collector(Some(obs.clone()));
+        let span = obs.begin("analysis", "phase");
+        let s = ctx.parse_set("{[i] : 1 <= i <= 10}").unwrap();
+        assert!(!s.is_empty());
+        assert!(!s.is_empty()); // cache hit still counts as a call
+        obs.end(span);
+        let t = obs.trace();
+        let i = t.find("analysis").unwrap();
+        let sat = t.nodes[i].ops.get("satisfiability").expect("sat recorded");
+        assert!(sat.calls >= 2);
+        assert!(sat.sizes.count() == sat.calls);
+
+        // Detaching stops recording.
+        ctx.set_collector(None);
+        let before = obs.len();
+        let _ = s.is_empty();
+        assert_eq!(obs.len(), before);
+    }
+
+    #[test]
+    fn disabled_cache_still_records_set_ops() {
+        let obs = Collector::new();
+        let ctx = Context::disabled();
+        ctx.set_collector(Some(obs.clone()));
+        let s = ctx.parse_set("{[i] : 1 <= i <= 10}").unwrap();
+        assert!(!s.is_empty());
+        let ops = obs.trace().total_ops();
+        assert!(ops.get("satisfiability").map_or(0, |o| o.calls) > 0);
+        assert_eq!(ctx.stats().total_misses(), 0, "cache untouched");
     }
 
     #[test]

@@ -26,6 +26,29 @@ struct Message {
     values: Vec<f64>,
 }
 
+/// Per-rank communication activity: message/byte counts split by
+/// direction, and the in-place vs buffered transfer mix (contiguous
+/// messages skip the pack/unpack copy — the paper's §5 in-place receives).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankComm {
+    /// Messages this rank sent.
+    pub sent_messages: u64,
+    /// Messages this rank received.
+    pub recv_messages: u64,
+    /// Payload bytes this rank sent.
+    pub sent_bytes: u64,
+    /// Payload bytes this rank received.
+    pub recv_bytes: u64,
+    /// Sends of contiguous regions (no pack copy).
+    pub inplace_sends: u64,
+    /// Sends that packed a strided region into a buffer.
+    pub buffered_sends: u64,
+    /// Receives landing directly in place (contiguous target).
+    pub inplace_recvs: u64,
+    /// Receives unpacked element-by-element from a buffer.
+    pub buffered_recvs: u64,
+}
+
 /// Result of a simulated run.
 #[derive(Clone, Debug)]
 pub struct SimResult {
@@ -37,6 +60,8 @@ pub struct SimResult {
     pub messages: u64,
     /// Total payload bytes sent.
     pub bytes: u64,
+    /// Per-rank communication activity (indexed by rank).
+    pub comm: Vec<RankComm>,
     /// Final scalar values (identical on all ranks; taken from rank 0).
     pub floats: HashMap<String, f64>,
     /// Final integer scalars from rank 0.
@@ -58,6 +83,54 @@ pub struct SimResult {
 /// Panics if `counts.len()` does not match the program's processor rank, or
 /// if a fixed dimension's count disagrees with the program.
 pub fn simulate(
+    compiled: &Compiled,
+    counts: &[i64],
+    inputs: &HashMap<String, i64>,
+    machine: &MachineModel,
+) -> Result<SimResult, SimError> {
+    simulate_with(compiled, counts, inputs, machine, None)
+}
+
+/// [`simulate`], optionally recording a `"simulate"` span with aggregate
+/// and per-rank communication counters on `trace`. Rank threads never
+/// touch the collector: counters are aggregated from the per-rank results
+/// on the calling thread, so tracing cannot perturb message timing.
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+///
+/// # Panics
+///
+/// Same as [`simulate`].
+pub fn simulate_with(
+    compiled: &Compiled,
+    counts: &[i64],
+    inputs: &HashMap<String, i64>,
+    machine: &MachineModel,
+    trace: Option<&dhpf_obs::Collector>,
+) -> Result<SimResult, SimError> {
+    let span = trace.map(|c| c.begin("simulate", "simulate"));
+    let out = simulate_inner(compiled, counts, inputs, machine);
+    if let (Some(c), Some(id)) = (trace, span) {
+        if let Ok(r) = &out {
+            c.counter_on(id, "messages", r.messages as i64);
+            c.counter_on(id, "payload bytes", r.bytes as i64);
+            let inplace: u64 = r.comm.iter().map(|rc| rc.inplace_sends).sum();
+            let buffered: u64 = r.comm.iter().map(|rc| rc.buffered_sends).sum();
+            c.counter_on(id, "inplace transfers", inplace as i64);
+            c.counter_on(id, "buffered transfers", buffered as i64);
+            for (k, rc) in r.comm.iter().enumerate() {
+                c.counter_on(id, &format!("rank{k} sent msgs"), rc.sent_messages as i64);
+                c.counter_on(id, &format!("rank{k} sent bytes"), rc.sent_bytes as i64);
+            }
+        }
+        c.end(id);
+    }
+    out
+}
+
+fn simulate_inner(
     compiled: &Compiled,
     counts: &[i64],
     inputs: &HashMap<String, i64>,
@@ -130,8 +203,7 @@ pub fn simulate(
         }));
     }
     let mut rank_times = vec![0.0; nranks];
-    let mut messages = 0u64;
-    let mut bytes = 0u64;
+    let mut comm = vec![RankComm::default(); nranks];
     let mut floats = HashMap::new();
     let mut ints = HashMap::new();
     let mut arrays: HashMap<String, Array> = HashMap::new();
@@ -159,8 +231,7 @@ pub fn simulate(
     }
     for (rank, out) in results.into_iter().map(Result::unwrap).enumerate() {
         rank_times[rank] = out.time;
-        messages += out.messages;
-        bytes += out.bytes;
+        comm[rank] = out.comm;
         if rank == 0 {
             floats = out.store.floats.clone();
             ints = out.store.ints.clone();
@@ -182,8 +253,9 @@ pub fn simulate(
     Ok(SimResult {
         time,
         rank_times,
-        messages,
-        bytes,
+        messages: comm.iter().map(|c| c.sent_messages).sum(),
+        bytes: comm.iter().map(|c| c.sent_bytes).sum(),
+        comm,
         floats,
         ints,
         arrays,
@@ -198,8 +270,7 @@ type PartnerTuples = Vec<(usize, Vec<Vec<i64>>)>;
 
 struct RankOut {
     time: f64,
-    messages: u64,
-    bytes: u64,
+    comm: RankComm,
     store: Store,
     owned: Vec<(String, OwnedElems)>,
 }
@@ -214,8 +285,7 @@ struct Rank<'a> {
     store: Store,
     env: Env,
     clock: f64,
-    messages: u64,
-    bytes: u64,
+    comm: RankComm,
     counts: Vec<i64>,
 }
 
@@ -282,8 +352,7 @@ fn run_rank(
         store,
         env,
         clock: 0.0,
-        messages: 0,
-        bytes: 0,
+        comm: RankComm::default(),
         counts: counts.to_vec(),
     };
     r.run_items(&program.items)?;
@@ -305,8 +374,7 @@ fn run_rank(
     }
     Ok(RankOut {
         time: r.clock,
-        messages: r.messages,
-        bytes: r.bytes,
+        comm: r.comm,
         store: r.store,
         owned,
     })
@@ -542,12 +610,15 @@ impl Rank<'_> {
             let arr = &self.store.arrays[&ev.array];
             let values: Vec<f64> = idxs.iter().map(|i| arr.get(i)).collect();
             let nbytes = (values.len() * 8) as u64;
-            if !ev.contiguous {
+            if ev.contiguous {
+                self.comm.inplace_sends += 1;
+            } else {
                 self.clock += values.len() as f64 * self.machine.copy;
+                self.comm.buffered_sends += 1;
             }
             self.clock += self.machine.overhead;
-            self.messages += 1;
-            self.bytes += nbytes;
+            self.comm.sent_messages += 1;
+            self.comm.sent_bytes += nbytes;
             self.to[partner]
                 .send(Message {
                     tag: ev.id,
@@ -583,9 +654,14 @@ impl Rank<'_> {
             self.clock = self
                 .clock
                 .max(msg.t_send + self.machine.transfer_time(nbytes));
-            if !ev.contiguous {
+            if ev.contiguous {
+                self.comm.inplace_recvs += 1;
+            } else {
                 self.clock += msg.values.len() as f64 * self.machine.copy;
+                self.comm.buffered_recvs += 1;
             }
+            self.comm.recv_messages += 1;
+            self.comm.recv_bytes += nbytes;
             let arr = self
                 .store
                 .arrays

@@ -16,7 +16,7 @@ pub mod interp;
 pub mod machine;
 pub mod store;
 
-pub use exec::{simulate, SimResult};
+pub use exec::{simulate, simulate_with, RankComm, SimResult};
 pub use interp::{run_serial, SimError};
 pub use machine::MachineModel;
 pub use store::{Array, Store};
