@@ -1,0 +1,106 @@
+//! Differential oracle fuzz campaign driver.
+//!
+//! Runs the `dhpf_omega::oracle` law checkers on randomly generated bounded
+//! sets/relations and prints minimized counterexamples for any violation.
+//!
+//! ```text
+//! oracle_fuzz [--seed N] [--iters N] [--time-budget SECONDS]
+//!             [--max-failures N] [--verbose] [--replay CASE_SEED]
+//! ```
+//!
+//! Exit status is non-zero when any law was violated, so CI can run this
+//! directly as a smoke job (`--seed 5 --iters 2000`).
+
+use dhpf_omega::oracle::{self, OracleConfig, Verdict};
+use std::time::Duration;
+
+fn parse_flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = parse_flag(&args, "--seed").unwrap_or(5);
+    let iters = parse_flag(&args, "--iters").unwrap_or(2000);
+    let budget = parse_flag(&args, "--time-budget").map(Duration::from_secs);
+    let max_failures = parse_flag(&args, "--max-failures").unwrap_or(5) as usize;
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let cfg = OracleConfig::default();
+
+    if let Some(case_seed) = parse_flag(&args, "--replay") {
+        let (case, verdict) = oracle::run_seed(case_seed, &cfg);
+        println!("law: {}", case.law);
+        for (i, f) in case.inputs.iter().enumerate() {
+            println!("input[{i}]: {}", f.source());
+        }
+        match verdict {
+            Verdict::Pass => println!("PASS"),
+            Verdict::Skip(why) => println!("SKIP ({why})"),
+            Verdict::Fail(detail) => {
+                println!("FAIL: {detail}");
+                let small = oracle::shrink(&case, &cfg);
+                println!("shrunk:");
+                for (i, f) in small.inputs.iter().enumerate() {
+                    println!("  input[{i}]: {}", f.source());
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if verbose {
+        // Per-case trace for debugging hangs: print the law + case seed
+        // before checking, so the offending case is identifiable.
+        use dhpf_omega::testing::Rng;
+        let mut master = Rng::new(seed);
+        let mut failures = 0u64;
+        for i in 0..iters {
+            let case_seed = master.next_u64();
+            {
+                let mut rng = Rng::new(case_seed);
+                let case = oracle::gen_case(&mut rng, &cfg);
+                eprintln!("[{i}] starting {} seed={case_seed}", case.law);
+                for (k, f) in case.inputs.iter().enumerate() {
+                    eprintln!("      input[{k}]: {}", f.source());
+                }
+            }
+            let (case, verdict) = oracle::run_seed(case_seed, &cfg);
+            eprintln!(
+                "[{i}] {} seed={case_seed} -> {}",
+                case.law,
+                match &verdict {
+                    Verdict::Pass => "pass".to_string(),
+                    Verdict::Skip(w) => format!("skip ({w})"),
+                    Verdict::Fail(d) => {
+                        failures += 1;
+                        format!("FAIL: {d}")
+                    }
+                }
+            );
+        }
+        std::process::exit(if failures > 0 { 1 } else { 0 });
+    }
+
+    let out = oracle::fuzz(seed, iters, budget, &cfg, max_failures);
+    println!(
+        "oracle_fuzz: seed {seed}, {} iterations in {:.2?} ({} skipped at exactness limits)",
+        out.iterations, out.elapsed, out.skips
+    );
+    println!("{:<20} {:>8} {:>8} {:>8}", "law", "runs", "skips", "fails");
+    for (law, t) in &out.per_law {
+        println!("{:<20} {:>8} {:>8} {:>8}", law, t.runs, t.skips, t.fails);
+    }
+    if !out.ok() {
+        println!();
+        for f in &out.failures {
+            println!("{f}\n");
+        }
+        eprintln!("{} law violation(s)", out.failures.len());
+        std::process::exit(1);
+    }
+    println!("all laws held");
+}

@@ -11,7 +11,7 @@
 
 use crate::cp::myid_set;
 use crate::layout::Layout;
-use dhpf_omega::{Relation, Set};
+use dhpf_omega::{OmegaError, Relation, Set};
 
 /// One reference participating in a communication event: its `CPMap`
 /// (proc → loop) and `RefMap` (loop → data), both at the event's level.
@@ -48,16 +48,26 @@ impl CommSets {
 /// `reads`/`writes` are the potentially non-local references (their unions
 /// implement message coalescing); `layout` is the referenced array's layout.
 ///
+/// # Errors
+///
+/// Returns the underlying [`OmegaError`] when a set difference hits an
+/// exactness limit (inexact negation or coefficient overflow); callers
+/// surface it as a compile diagnostic instead of aborting.
+///
 /// # Panics
 ///
 /// Panics if the references' processor/data arities disagree with the
 /// layout's.
-pub fn comm_sets(reads: &[CommRef], writes: &[CommRef], layout: &Layout) -> CommSets {
+pub fn comm_sets(
+    reads: &[CommRef],
+    writes: &[CommRef],
+    layout: &Layout,
+) -> Result<CommSets, OmegaError> {
     let proc_rank = layout.proc_rank();
     let mut me = myid_set(proc_rank);
     me.set_context(layout.rel.context());
     let owned_by_m = layout.rel.apply(&me);
-    let others = Set::universe(proc_rank).subtract(&me);
+    let others = Set::universe(proc_rank).try_subtract(&me)?;
 
     // Step 2: DataAccessed_t = ∪_r CPMap_r ∘ RefMap_r  (proc -> data).
     let accessed = |refs: &[CommRef]| -> Option<Relation> {
@@ -75,14 +85,14 @@ pub fn comm_sets(reads: &[CommRef], writes: &[CommRef], layout: &Layout) -> Comm
     let data_write = accessed(writes);
 
     // Step 3 (per §5): nlDataSet_t(m) = DataAccessed_t({m}) - Layout({m}).
-    let nl_of = |d: &Option<Relation>| -> Set {
+    let nl_of = |d: &Option<Relation>| -> Result<Set, OmegaError> {
         match d {
-            Some(rel) => rel.apply(&me).subtract(&owned_by_m),
-            None => Set::empty(layout.rel.n_out()),
+            Some(rel) => rel.apply(&me).try_subtract(&owned_by_m),
+            None => Ok(Set::empty(layout.rel.n_out())),
         }
     };
-    let nl_read_data = nl_of(&data_read);
-    let nl_write_data = nl_of(&data_write);
+    let nl_read_data = nl_of(&data_read)?;
+    let nl_write_data = nl_of(&data_write)?;
 
     // Steps 4-5. NLCommMap_t(m) = Layout ∩range nlDataSet_t(m):
     // the owner q of each non-local element m touches.
@@ -105,12 +115,12 @@ pub fn comm_sets(reads: &[CommRef], writes: &[CommRef], layout: &Layout) -> Comm
     let mut recv_map = nl_read.union(&local_write);
     send_map.simplify();
     recv_map.simplify();
-    CommSets {
+    Ok(CommSets {
         nl_read_data,
         nl_write_data,
         send_map,
         recv_map,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -153,7 +163,8 @@ end
             }],
             &[],
             &layouts["b"],
-        );
+        )
+        .unwrap();
         // m = 0 owns b[1..25], computes i in [1,25], reads b[2..26]:
         // needs b[26] from p=1.
         let m0 = [("m1", 0i64)];
@@ -212,7 +223,8 @@ end
             }],
             &[],
             &layouts["b"],
-        );
+        )
+        .unwrap();
         assert!(sets.is_empty());
     }
 
@@ -245,7 +257,7 @@ end
                 ref_map: r.ref_map(&stmts[0].ctx),
             })
             .collect();
-        let sets = comm_sets(&refs, &[], &layouts["b"]);
+        let sets = comm_sets(&refs, &[], &layouts["b"]).unwrap();
         let m0 = [("m1", 0i64)];
         // m=0 computes i in [1,25]; reads b[2..27]; owns b[1..25]:
         // needs b[26], b[27] from p=1 — one coalesced message.
@@ -280,7 +292,7 @@ end
             cp_map: cp,
             ref_map: stmts[0].lhs.as_ref().unwrap().ref_map(&stmts[0].ctx),
         };
-        let sets = comm_sets(&[], &[wref], &layouts["a"]);
+        let sets = comm_sets(&[], &[wref], &layouts["a"]).unwrap();
         // m=0 computes i in [1,25], writes a[2..26]; owns a[1..25]:
         // must SEND a[26] to its owner p=1.
         let m0 = [("m1", 0i64)];
@@ -324,7 +336,8 @@ end
             }],
             &[],
             &layouts["a"],
-        );
+        )
+        .unwrap();
         assert_eq!(inner.vars, vec!["j".to_string()]);
         // With B = 16: m=1 owns rows 17..32. At i = 17 it reads row 16
         // (owned by p=0) for all j.

@@ -125,7 +125,9 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileErro
         }
         Ok(())
     })?;
-    let (program, stats) = compiled.expect("main unit compiled");
+    let (program, stats) = compiled.ok_or_else(|| {
+        CompileError::Unsupported("no compilable main unit in the program".to_string())
+    })?;
     timers.time("opt of generated code", |_| {
         // Generated code is simplified during synthesis; this phase is kept
         // as a named row for Table 1 parity.
@@ -141,7 +143,10 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileErro
     ctx.set_collector(None);
     Ok(Compiled {
         program,
-        analysis: analyses.into_iter().nth(main_idx).expect("main analysis"),
+        analysis: analyses
+            .into_iter()
+            .nth(main_idx)
+            .ok_or_else(|| CompileError::Unsupported("main unit analysis missing".to_string()))?,
         report: CompileReport {
             timers,
             stats,

@@ -72,28 +72,50 @@ pub fn contiguity(comm: &Set, local: &Set) -> Contiguity {
         return Contiguity::Contiguous;
     }
     let ck = comm.project_onto(&[k]);
-    if !ck.is_convex_1d() {
-        // A hole is *provable* (the hole formula is satisfiable); it may
-        // still be parameter-dependent, so fall back to a runtime scan when
-        // symbolic parameters are involved.
-        if comm.as_relation().params().is_empty() {
-            return Contiguity::NotContiguous;
-        }
-        return Contiguity::Runtime(RuntimeCheck {
-            description: format!("dimension {k} convexity depends on parameters"),
-            cond: Cond::Bool(false),
-        });
-    }
-    for d in (k + 1)..n {
-        let cd = comm.project_onto(&[d]);
-        if !cd.is_singleton_1d() {
+    match ck.try_is_convex_1d() {
+        Ok(true) => {}
+        Ok(false) => {
+            // A hole is *provable* (the hole formula is satisfiable); it may
+            // still be parameter-dependent, so fall back to a runtime scan
+            // when symbolic parameters are involved.
             if comm.as_relation().params().is_empty() {
                 return Contiguity::NotContiguous;
             }
             return Contiguity::Runtime(RuntimeCheck {
-                description: format!("dimension {d} singleton test depends on parameters"),
-                cond: runtime_singleton_cond(d),
+                description: format!("dimension {k} convexity depends on parameters"),
+                cond: Cond::Bool(false),
             });
+        }
+        // The compile-time test hit an exactness limit (inexact negation):
+        // the paper's §3.3 runtime scan decides instead of aborting.
+        Err(e) => {
+            return Contiguity::Runtime(RuntimeCheck {
+                description: format!("dimension {k} convexity undecidable at compile time: {e}"),
+                cond: Cond::Bool(false),
+            });
+        }
+    }
+    for d in (k + 1)..n {
+        let cd = comm.project_onto(&[d]);
+        match cd.try_is_singleton_1d() {
+            Ok(true) => {}
+            Ok(false) => {
+                if comm.as_relation().params().is_empty() {
+                    return Contiguity::NotContiguous;
+                }
+                return Contiguity::Runtime(RuntimeCheck {
+                    description: format!("dimension {d} singleton test depends on parameters"),
+                    cond: runtime_singleton_cond(d),
+                });
+            }
+            Err(e) => {
+                return Contiguity::Runtime(RuntimeCheck {
+                    description: format!(
+                        "dimension {d} singleton test undecidable at compile time: {e}"
+                    ),
+                    cond: runtime_singleton_cond(d),
+                });
+            }
         }
     }
     Contiguity::Contiguous

@@ -16,6 +16,7 @@ pub mod inplace;
 pub mod ir;
 pub mod layout;
 pub mod phases;
+pub mod probes;
 pub mod split;
 pub mod spmd;
 pub mod vp;

@@ -9,7 +9,7 @@
 use crate::comm::CommRef;
 use crate::cp::myid_set;
 use crate::layout::Layout;
-use dhpf_omega::Set;
+use dhpf_omega::{OmegaError, Set};
 
 /// The four iteration sections of Figure 4(a), over the loop tuple, with
 /// `m1..mr` (myid) as symbolic parameters.
@@ -44,6 +44,11 @@ impl SplitSets {
 /// layout; `cp_iter_set` is `CPMap({m})`, the group's partitioned
 /// iteration set.
 ///
+/// # Errors
+///
+/// Returns the underlying [`OmegaError`] when a set difference hits an
+/// exactness limit (inexact negation or coefficient overflow).
+///
 /// # Panics
 ///
 /// Panics if set arities are inconsistent (a compiler-internal error).
@@ -51,10 +56,10 @@ pub fn split_sets(
     cp_iter_set: &Set,
     reads: &[(&CommRef, &Layout)],
     writes: &[(&CommRef, &Layout)],
-) -> SplitSets {
+) -> Result<SplitSets, OmegaError> {
     // localIters_r = RefMap_r⁻¹(localDataAccessed_r); we intersect across
     // references first (the paper's reformulation to limit disjunctions).
-    let local_iters = |refs: &[(&CommRef, &Layout)]| -> Set {
+    let local_iters = |refs: &[(&CommRef, &Layout)]| -> Result<Set, OmegaError> {
         let mut acc = cp_iter_set.clone();
         for (r, layout) in refs {
             let me = myid_set(layout.proc_rank());
@@ -64,28 +69,28 @@ pub fn split_sets(
             let mut li = r.ref_map.apply_inverse(&local_data);
             // Restrict to iterations whose *own* access is local:
             // iterations whose referenced element is non-local must go.
-            let nl_data = data_accessed.subtract(&owned);
+            let nl_data = data_accessed.try_subtract(&owned)?;
             let nl_iters = r.ref_map.apply_inverse(&nl_data);
-            li = li.subtract(&nl_iters);
+            li = li.try_subtract(&nl_iters)?;
             acc = acc.intersection(&li);
         }
-        acc.intersection(cp_iter_set)
+        Ok(acc.intersection(cp_iter_set))
     };
-    let local_read = local_iters(reads);
-    let local_write = local_iters(writes);
-    let nl_read = cp_iter_set.subtract(&local_read);
-    let nl_write = cp_iter_set.subtract(&local_write);
+    let local_read = local_iters(reads)?;
+    let local_write = local_iters(writes)?;
+    let nl_read = cp_iter_set.try_subtract(&local_read)?;
+    let nl_write = cp_iter_set.try_subtract(&local_write)?;
     let nl_rw = nl_read.intersection(&nl_write);
-    let nl_ro = nl_read.subtract(&nl_write);
-    let nl_wo = nl_write.subtract(&nl_read);
+    let nl_ro = nl_read.try_subtract(&nl_write)?;
+    let nl_wo = nl_write.try_subtract(&nl_read)?;
     let mut local = local_read.intersection(&local_write);
     local.simplify();
-    SplitSets {
+    Ok(SplitSets {
         local,
         nl_ro,
         nl_wo,
         nl_rw,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -127,7 +132,7 @@ end
             cp_map: cp.clone(),
             ref_map: stmts[0].lhs.as_ref().unwrap().ref_map(&stmts[0].ctx),
         };
-        let s = split_sets(&mine, &[(&rref, &layouts["b"])], &[(&wref, &layouts["a"])]);
+        let s = split_sets(&mine, &[(&rref, &layouts["b"])], &[(&wref, &layouts["a"])]).unwrap();
         // m=0 computes i in [1,25]; i=25 reads b[26] (non-local, read-only);
         // writes a(i) always local.
         let m0 = [("m1", 0i64)];
@@ -157,7 +162,7 @@ end
             cp_map: cp.clone(),
             ref_map: stmts[0].reads[0].ref_map(&stmts[0].ctx),
         };
-        let s = split_sets(&mine, &[(&rref, &layouts["b"])], &[]);
+        let s = split_sets(&mine, &[(&rref, &layouts["b"])], &[]).unwrap();
         // local ∪ nl_ro ∪ nl_wo ∪ nl_rw == cpIterSet, pairwise disjoint.
         let u = s.local.union(&s.nl_ro).union(&s.nl_wo).union(&s.nl_rw);
         assert!(u.equal(&mine));

@@ -25,6 +25,9 @@ pub enum CompileError {
     Unsupported(String),
     /// Loop synthesis failed.
     Codegen(dhpf_codegen::CodegenError),
+    /// A set-algebra operation hit an exactness limit (inexact negation,
+    /// coefficient overflow, …) while analyzing the program.
+    SetAlgebra(dhpf_omega::OmegaError),
 }
 
 impl fmt::Display for CompileError {
@@ -33,6 +36,7 @@ impl fmt::Display for CompileError {
             CompileError::Frontend(e) => write!(f, "{e}"),
             CompileError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
             CompileError::Codegen(e) => write!(f, "code generation failed: {e}"),
+            CompileError::SetAlgebra(e) => write!(f, "set algebra failed: {e}"),
         }
     }
 }
@@ -48,6 +52,12 @@ impl From<dhpf_hpf::HpfError> for CompileError {
 impl From<dhpf_codegen::CodegenError> for CompileError {
     fn from(e: dhpf_codegen::CodegenError) -> Self {
         CompileError::Codegen(e)
+    }
+}
+
+impl From<dhpf_omega::OmegaError> for CompileError {
+    fn from(e: dhpf_omega::OmegaError) -> Self {
+        CompileError::SetAlgebra(e)
     }
 }
 
@@ -664,7 +674,7 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
             } else {
                 comm_sets(&plan.refs, &[], layout)
             }
-        });
+        })?;
         // An event is needed only if some processor touches *non-local*
         // data. With the virtual-processor layouts the send-side maps can
         // be spuriously non-empty (fictitious VPs overlap every real one),
@@ -717,7 +727,7 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
         written.simplify();
         let mut all_indices = array_index_set(synth.analysis, &plan.array);
         all_indices.set_context(layout.rel.context());
-        let unwritten = all_indices.subtract(&written);
+        let unwritten = all_indices.try_subtract(&written)?;
         // Fully-vectorized maps for this plan's own references (no
         // consumer-iteration parameters): they drive the producer-side
         // send schedule.
@@ -735,7 +745,7 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
             .collect();
         let sets0 = synth.time("communication generation", |_| {
             comm_sets(&refs0, &[], layout)
-        });
+        })?;
         // Pre-nest exchange of never-written data.
         let pre_send = sets0.send_map.restrict_range(&unwritten);
         let pre_recv = sets0.recv_map.restrict_range(&unwritten);
@@ -850,7 +860,7 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
             })
             .collect();
         let read_pairs: Vec<(&CommRef, &Layout)> = reads_l.iter().map(|(c, l)| (c, *l)).collect();
-        let sections = synth.time("loop splitting", |_| split_sets(&mine, &read_pairs, &[]));
+        let sections = synth.time("loop splitting", |_| split_sets(&mine, &read_pairs, &[]))?;
         // SEND; compute local; RECV; compute non-local (Figure 4(b) without
         // non-local writes).
         let names: Vec<&str> = s0.ctx.vars.iter().map(String::as_str).collect();

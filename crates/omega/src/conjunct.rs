@@ -11,8 +11,9 @@
 //! shadow and splinter sets, so that projections remain exact over Z.
 
 use crate::linexpr::LinExpr;
-use crate::num::{floor_div, modulo, mul};
+use crate::num::{floor_div, modulo, try_mul, try_sub};
 use crate::var::Var;
+use crate::OmegaError;
 use std::collections::BTreeSet;
 
 /// A conjunction of constraints: all `eqs` are `= 0`, all `geqs` are `>= 0`.
@@ -345,9 +346,13 @@ impl Conjunct {
                     c.modhat_reduce(idx, v);
                     work.push(c);
                 }
-                SatStep::Fme(v) => {
-                    work.extend(c.eliminate_exact_in(v, ctx));
-                }
+                SatStep::Fme(v) => match c.try_eliminate_exact_in(v, ctx) {
+                    Ok(parts) => work.extend(parts),
+                    // Overflow is conservative like fuel exhaustion: report
+                    // satisfiable rather than abort (sound for emptiness
+                    // tests, which only trust `false`).
+                    Err(_) => return true,
+                },
             }
         }
         false
@@ -428,20 +433,56 @@ impl Conjunct {
 
     /// [`eliminate_exact`](Self::eliminate_exact) with an optional shared
     /// [`Context`] memoizing the projection per `(conjunct, var)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if coefficient arithmetic overflows `i64`; prefer
+    /// [`try_eliminate_exact_in`](Self::try_eliminate_exact_in) where the
+    /// overflow can be handled.
     pub fn eliminate_exact_in(&self, v: Var, ctx: Option<&crate::Context>) -> Vec<Conjunct> {
+        self.try_eliminate_exact_in(v, ctx)
+            .expect("coefficient overflow during exact elimination")
+    }
+
+    /// Fallible form of [`eliminate_exact`](Self::eliminate_exact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmegaError::Overflow`] if a Fourier–Motzkin combination,
+    /// dark-shadow gap, or splinter bound overflows `i64`.
+    pub fn try_eliminate_exact(&self, v: Var) -> Result<Vec<Conjunct>, OmegaError> {
+        self.try_eliminate_exact_in(v, None)
+    }
+
+    /// Fallible form of [`eliminate_exact_in`](Self::eliminate_exact_in).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmegaError::Overflow`] if a Fourier–Motzkin combination,
+    /// dark-shadow gap, or splinter bound overflows `i64`. Errors are
+    /// memoized like successes, so a retried elimination stays cheap.
+    pub fn try_eliminate_exact_in(
+        &self,
+        v: Var,
+        ctx: Option<&crate::Context>,
+    ) -> Result<Vec<Conjunct>, OmegaError> {
         match ctx {
             Some(cx) => cx.cached_eliminate(self, v, || self.eliminate_uncached(v, ctx)),
             None => self.eliminate_uncached(v, None),
         }
     }
 
-    fn eliminate_uncached(&self, v: Var, ctx: Option<&crate::Context>) -> Vec<Conjunct> {
+    fn eliminate_uncached(
+        &self,
+        v: Var,
+        ctx: Option<&crate::Context>,
+    ) -> Result<Vec<Conjunct>, OmegaError> {
         let mut c = self.clone();
         if c.normalize() == Normalized::False {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         if !c.mentions(v) {
-            return vec![c];
+            return Ok(vec![c]);
         }
         // Equality path.
         if let Some(idx) = c.best_eq_for(v) {
@@ -461,7 +502,7 @@ impl Conjunct {
     }
 
     /// Eliminates `v` using equality `eqs[idx]`.
-    fn eliminate_via_eq(mut self, idx: usize, v: Var) -> Vec<Conjunct> {
+    fn eliminate_via_eq(mut self, idx: usize, v: Var) -> Result<Vec<Conjunct>, OmegaError> {
         let eq = self.eqs[idx].clone();
         let a = eq.coeff(v);
         debug_assert_ne!(a, 0);
@@ -469,14 +510,14 @@ impl Conjunct {
             // v = -a * (eq - a*v)  since a*v + rest = 0 => v = -rest/a.
             let mut rest = eq.clone();
             rest.remove_term(v);
-            let repl = rest.scaled(-a); // a in {1,-1}: -rest/a == -a*rest
+            let repl = rest.try_scaled(-a)?; // a in {1,-1}: -rest/a == -a*rest
             self.eqs.remove(idx);
             self.substitute(v, &repl);
             let mut out = self;
             if out.normalize() == Normalized::False {
-                return Vec::new();
+                return Ok(Vec::new());
             }
-            return vec![out];
+            return Ok(vec![out]);
         }
         // |a| > 1: multiply-through elimination. Remove v from every *other*
         // constraint by exact linear combination with the defining equality
@@ -493,8 +534,8 @@ impl Conjunct {
                 continue;
             }
             // a*f - av*(a*v + e_rest) = a*(f - av*v) - av*e_rest = 0
-            let mut nf = f.scaled(a);
-            nf.add_scaled(&e_rest, -av);
+            let mut nf = f.try_scaled(a)?;
+            nf.try_add_scaled(&e_rest, try_sub(0, av)?)?;
             *f = nf;
         }
         for h in self.geqs.iter_mut() {
@@ -505,8 +546,8 @@ impl Conjunct {
             // |a|*(av*v + h') >= 0 with a*v = -e_rest:
             //   a > 0:  -av*e_rest + a*h' >= 0
             //   a < 0:   av*e_rest - a*h' >= 0
-            let mut nh = h.scaled(a.abs());
-            nh.add_scaled(&e_rest, if a > 0 { -av } else { av });
+            let mut nh = h.try_scaled(a.abs())?;
+            nh.try_add_scaled(&e_rest, if a > 0 { try_sub(0, av)? } else { av })?;
             *h = nh;
         }
         // Re-home the witness: if v was a tuple or parameter variable, the
@@ -522,14 +563,18 @@ impl Conjunct {
             self.eqs[i].add_term(alpha, c);
         }
         if self.normalize() == Normalized::False {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        vec![self]
+        Ok(vec![self])
     }
 
     /// Eliminates `v` (appearing only in inequalities) exactly:
     /// dark shadow plus splinters.
-    fn eliminate_via_fme(mut self, v: Var, ctx: Option<&crate::Context>) -> Vec<Conjunct> {
+    fn eliminate_via_fme(
+        mut self,
+        v: Var,
+        ctx: Option<&crate::Context>,
+    ) -> Result<Vec<Conjunct>, OmegaError> {
         let mut lowers = Vec::new(); // (a, L): a*v + L >= 0 with a > 0
         let mut uppers = Vec::new(); // (b, U): -b*v + U >= 0 with b > 0
         let mut others = Vec::new();
@@ -556,22 +601,22 @@ impl Conjunct {
             // v is unbounded on one side: projection drops its constraints.
             let mut out = base;
             if out.normalize() == Normalized::False {
-                return Vec::new();
+                return Ok(Vec::new());
             }
-            return vec![out];
+            return Ok(vec![out]);
         }
         let mut exact = true;
         let mut dark = base.clone();
         for (a, l) in &lowers {
             for (b, u) in &uppers {
                 // a*v >= -L and b*v <= U  =>  a*U + b*L >= 0 (real shadow)
-                let mut comb = u.scaled(*a);
-                comb.add_scaled(l, *b);
+                let mut comb = u.try_scaled(*a)?;
+                comb.try_add_scaled(l, *b)?;
                 if *a > 1 && *b > 1 {
                     exact = false;
                     // dark shadow: a*U + b*L >= (a-1)(b-1)
                     let mut d = comb.clone();
-                    d.add_constant(-((*a - 1) * (*b - 1)));
+                    d.try_add_constant(try_sub(0, try_mul(*a - 1, *b - 1)?)?)?;
                     dark.add_geq(d);
                 } else {
                     dark.add_geq(comb);
@@ -581,9 +626,9 @@ impl Conjunct {
         if exact {
             let mut out = dark;
             if out.normalize() == Normalized::False {
-                return Vec::new();
+                return Ok(Vec::new());
             }
-            return vec![out];
+            return Ok(vec![out]);
         }
         let mut results = Vec::new();
         if dark.normalize() != Normalized::False {
@@ -597,7 +642,7 @@ impl Conjunct {
             if *a <= 1 {
                 continue;
             }
-            let imax = floor_div(mul(*a, bmax) - *a - bmax, bmax);
+            let imax = floor_div(try_sub(try_sub(try_mul(*a, bmax)?, *a)?, bmax)?, bmax);
             for i in 0..=imax {
                 // Rebuild the original conjunct and pin a*v + L - i = 0.
                 let mut s = base.clone();
@@ -613,13 +658,13 @@ impl Conjunct {
                 }
                 let mut pin = l.clone();
                 pin.add_term(v, *a);
-                pin.add_constant(-i);
+                pin.try_add_constant(try_sub(0, i)?)?;
                 s.add_eq(pin);
                 // Recurse: the pinned equality eliminates v exactly.
-                results.extend(s.eliminate_exact_in(v, ctx));
+                results.extend(s.try_eliminate_exact_in(v, ctx)?);
             }
         }
-        results
+        Ok(results)
     }
 
     /// Returns `true` if this conjunct, conjoined with `context`, is

@@ -205,7 +205,7 @@ struct Arena {
     /// Hash-consed linear expressions (used by the builder API).
     exprs: HashMap<LinExpr, Id>,
     sat: HashMap<Id, bool>,
-    eliminate: HashMap<(Id, Var), Vec<Conjunct>>,
+    eliminate: HashMap<(Id, Var), Result<Vec<Conjunct>, OmegaError>>,
     negate: HashMap<Id, Result<Vec<Conjunct>, OmegaError>>,
     gist: HashMap<(Id, Id), Conjunct>,
     simplify: HashMap<Vec<Id>, Vec<Conjunct>>,
@@ -507,8 +507,8 @@ impl Context {
         &self,
         c: &Conjunct,
         v: Var,
-        compute: impl FnOnce() -> Vec<Conjunct>,
-    ) -> Vec<Conjunct> {
+        compute: impl FnOnce() -> Result<Vec<Conjunct>, OmegaError>,
+    ) -> Result<Vec<Conjunct>, OmegaError> {
         let _t = self.op_trace("fme projection", conjunct_size(c));
         if !self.is_enabled() {
             return compute();

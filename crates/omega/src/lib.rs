@@ -45,6 +45,7 @@ pub mod display;
 pub mod linexpr;
 pub mod num;
 pub mod ops;
+pub mod oracle;
 pub mod parse;
 pub mod relation;
 pub mod set;
@@ -84,6 +85,10 @@ pub enum OmegaError {
     /// Coefficient arithmetic overflowed `i64` while building or combining
     /// constraints; the payload names the failing operation.
     Overflow(&'static str),
+    /// An operation restricted to a specific tuple arity (the §3.3 1-D
+    /// contiguity tests) was applied to a set of a different arity; the
+    /// payload names the operation.
+    Arity(&'static str),
 }
 
 impl fmt::Display for OmegaError {
@@ -95,6 +100,7 @@ impl fmt::Display for OmegaError {
             OmegaError::Unbounded => write!(f, "set has no constant bounds to enumerate"),
             OmegaError::Parse(e) => write!(f, "{e}"),
             OmegaError::Overflow(op) => write!(f, "integer overflow in {op}"),
+            OmegaError::Arity(op) => write!(f, "{op} requires a 1-D set"),
         }
     }
 }

@@ -57,9 +57,18 @@ fn negate_uncached(
     // shrinking coefficients (the Omega test), so iterate with fuel.
     let stride_form = to_stride_form_in(c, ctx)?;
     // ¬(u1 ∨ u2 ∨ ...) = ¬u1 ∧ ¬u2 ∧ ...
+    //
+    // The cross product over stride pieces can explode combinatorially (k
+    // pieces with ~17 negation atoms each yield up to 17^k conjuncts), so
+    // the accumulator carries a hard budget; blowing it means the exact
+    // complement is too large to represent and the negation is inexact.
+    const MAX_NEGATION_PIECES: usize = 10_000;
     let mut acc: Vec<Conjunct> = vec![Conjunct::new()];
     for p in &stride_form {
         let negs = negate_stride_conjunct(p);
+        if acc.len().saturating_mul(negs.len()) > MAX_NEGATION_PIECES {
+            return Err(OmegaError::InexactNegation);
+        }
         let mut next = Vec::new();
         for a in &acc {
             for n in &negs {
@@ -117,7 +126,7 @@ pub fn to_stride_form_in(
         }
         match first_complex_exist(&c) {
             None => done.push(c),
-            Some(v) => work.extend(c.eliminate_exact_in(v, ctx)),
+            Some(v) => work.extend(c.try_eliminate_exact_in(v, ctx)?),
         }
     }
     Ok(done)

@@ -15,7 +15,7 @@
 //!
 //! Identifiers not bound by a tuple or an `exists` are symbolic parameters.
 
-use crate::conjunct::Conjunct;
+use crate::conjunct::{Conjunct, Normalized};
 use crate::linexpr::LinExpr;
 use crate::relation::Relation;
 use crate::set::Set;
@@ -243,6 +243,17 @@ impl Parser {
         exists: &mut Vec<(String, Var)>,
     ) -> Result<(), ParseError> {
         if let Some(Tok::Ident(id)) = self.peek() {
+            // `TRUE` / `FALSE` are printed by `Display` for the empty
+            // conjunct and the empty union; accept them back for roundtrip.
+            if id == "TRUE" {
+                self.pos += 1;
+                return Ok(());
+            }
+            if id == "FALSE" {
+                self.pos += 1;
+                c.add_geq(LinExpr::constant(-1));
+                return Ok(());
+            }
             if id == "exists" {
                 self.pos += 1;
                 self.expect("(")?;
@@ -441,8 +452,13 @@ pub(crate) fn parse_relation(input: &str) -> Result<Relation, ParseError> {
             Var::Param(i) => Var::Param(remap[i as usize]),
             v => v,
         });
-        let _ = c.normalize();
-        rel.add_conjunct(c);
+        // `normalize` strips constant atoms, so its verdict must be
+        // honored here: a contradictory conjunct (`FALSE`, `1 = 0`, …)
+        // contributes nothing to the union rather than collapsing to the
+        // universe conjunct.
+        if c.normalize() != Normalized::False {
+            rel.add_conjunct(c);
+        }
     }
     Ok(rel)
 }

@@ -630,7 +630,15 @@ impl Relation {
                 if i == j || !keep[j] {
                     continue;
                 }
+                // Subsumption is only an optimization: when the negation
+                // shatters into too many pieces (stride-heavy conjuncts can
+                // produce thousands), checking them all costs far more than
+                // keeping the extra conjunct. Skip those pairs.
+                const MAX_NEG_PIECES: usize = 64;
                 if let Ok(negs) = negate_conjunct_in(&self.conjuncts[j], cx) {
+                    if negs.len() > MAX_NEG_PIECES {
+                        continue;
+                    }
                     let ci = &self.conjuncts[i];
                     let sub = negs.iter().all(|n| {
                         let mut t = ci.clone();

@@ -246,29 +246,32 @@ impl Set {
                 Err(_) => conjs.push(c.clone()),
             }
         }
+        // An unbounded conjunct makes the whole union unbounded on that
+        // side, permanently: the flags keep a later bounded conjunct from
+        // resurrecting a finite bound (which would make `enumerate` silently
+        // miss members of the unbounded disjunct).
+        let mut lo_unbounded = false;
+        let mut hi_unbounded = false;
         for c in &conjs {
             if !c.is_satisfiable_in(cx.as_ref()) {
                 continue;
             }
             any = true;
             let (clo, chi) = conjunct_1d_bounds(c);
-            lo = match (lo, clo) {
-                (None, x) => x,
-                (x, None) => x,
-                (Some(a), Some(b)) => Some(a.min(b)),
-            };
-            // An unbounded conjunct makes the union unbounded.
-            if clo.is_none() {
-                lo = None;
+            match clo {
+                None => lo_unbounded = true,
+                Some(b) => lo = Some(lo.map_or(b, |a: i64| a.min(b))),
             }
-            hi = match (hi, chi) {
-                (None, x) => x,
-                (x, None) => x,
-                (Some(a), Some(b)) => Some(a.max(b)),
-            };
-            if chi.is_none() {
-                hi = None;
+            match chi {
+                None => hi_unbounded = true,
+                Some(b) => hi = Some(hi.map_or(b, |a: i64| a.max(b))),
             }
+        }
+        if lo_unbounded {
+            lo = None;
+        }
+        if hi_unbounded {
+            hi = None;
         }
         if !any {
             // Empty set: report an empty interval.
@@ -316,20 +319,36 @@ impl Set {
     ///
     /// # Panics
     ///
-    /// Panics if the arity is not 1, or if negation is inexact.
+    /// Panics if the arity is not 1, or if negation is inexact. Prefer
+    /// [`Set::try_is_convex_1d`], which reports both conditions as errors.
     pub fn is_convex_1d(&self) -> bool {
-        assert_eq!(self.arity(), 1, "is_convex_1d requires a 1-D set");
+        self.try_is_convex_1d()
+            .expect("is_convex_1d on a non-1-D or inexactly-negatable set")
+    }
+
+    /// Fallible form of [`Set::is_convex_1d`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmegaError::Arity`] if the arity is not 1 and
+    /// [`OmegaError::InexactNegation`] if the complement needed by the hole
+    /// test cannot be formed exactly; callers (e.g. the in-place
+    /// communication analysis) fall back to the paper's §3.3 runtime check.
+    pub fn try_is_convex_1d(&self) -> Result<bool, OmegaError> {
+        if self.arity() != 1 {
+            return Err(OmegaError::Arity("is_convex_1d"));
+        }
         // holes = { [x,y,z] : x in S, z in S, y not in S, x < y < z }
         let sx = self.embed(3, 0);
         let sz = self.embed(3, 2);
         let sy = self.embed(3, 1);
-        let not_y = Set::universe(3).subtract(&sy);
+        let not_y = Set::universe(3).try_subtract(&sy)?;
         let order: Set = "{[x,y,z] : x <= y - 1 && y <= z - 1}".parse().unwrap();
         let holes = sx
             .intersection(&sz)
             .intersection(&not_y)
             .intersection(&order);
-        holes.is_empty()
+        Ok(holes.is_empty())
     }
 
     /// True for a 1-D set that provably contains at most one element for any
@@ -337,13 +356,25 @@ impl Set {
     ///
     /// # Panics
     ///
-    /// Panics if the arity is not 1.
+    /// Panics if the arity is not 1. Prefer [`Set::try_is_singleton_1d`].
     pub fn is_singleton_1d(&self) -> bool {
-        assert_eq!(self.arity(), 1, "is_singleton_1d requires a 1-D set");
+        self.try_is_singleton_1d()
+            .expect("is_singleton_1d on a non-1-D set")
+    }
+
+    /// Fallible form of [`Set::is_singleton_1d`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmegaError::Arity`] if the arity is not 1.
+    pub fn try_is_singleton_1d(&self) -> Result<bool, OmegaError> {
+        if self.arity() != 1 {
+            return Err(OmegaError::Arity("is_singleton_1d"));
+        }
         let sx = self.embed(2, 0);
         let sy = self.embed(2, 1);
         let order: Set = "{[x,y] : x <= y - 1}".parse().unwrap();
-        sx.intersection(&sy).intersection(&order).is_empty()
+        Ok(sx.intersection(&sy).intersection(&order).is_empty())
     }
 
     /// Embeds a 1-D set into dimension `dim` of an `arity`-dimensional

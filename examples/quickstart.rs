@@ -73,7 +73,7 @@ fn main() {
             ref_map: r.ref_map(&shift.ctx),
         })
         .collect();
-    let sets = comm_sets(&refs, &[], &layouts["b"]);
+    let sets = comm_sets(&refs, &[], &layouts["b"]).expect("comm analysis is exact here");
     println!(
         "RecvCommMap(m) — coalesced for both reads of b:\n  {}\n",
         sets.recv_map
