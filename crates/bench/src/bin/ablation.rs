@@ -3,7 +3,6 @@
 //! observation that splitting let TOMCATV reference receive buffers
 //! directly and overlap boundary exchange with interior computation.
 
-use dhpf_core::spmd::SpmdOptions;
 use dhpf_core::{compile, CompileOptions};
 use dhpf_sim::{simulate_with, MachineModel};
 use std::collections::HashMap;
@@ -22,13 +21,10 @@ fn main() {
     for p in [2i64, 4, 8, 16] {
         let mut times = Vec::new();
         for split in [false, true] {
-            let opts = CompileOptions {
-                spmd: SpmdOptions {
-                    loop_splitting: split,
-                },
-                use_cache,
-                trace: trace.as_ref().map(|t| t.collector.clone()),
-            };
+            let mut opts = CompileOptions::new().loop_splitting(split).cache(use_cache);
+            if let Some(t) = &trace {
+                opts = opts.trace(t.collector.clone());
+            }
             let compiled = compile(dhpf_bench::sources::TOMCATV, &opts).expect("compile tomcatv");
             let r = simulate_with(
                 &compiled,

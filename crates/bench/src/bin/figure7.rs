@@ -2,9 +2,12 @@
 //!
 //! Pass `--trace-out <path>` (or set `DHPF_TRACE`) to dump compile +
 //! simulate spans with per-run message/byte counters.
+//! Pass `--threads N` to compile on the parallel driver (default 1,
+//! the serial pipeline; simulated speedups are unaffected).
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let trace = dhpf_bench::traceopt::from_args_env(&args);
+    let threads = dhpf_bench::threads_from_args(&args);
     let procs: Vec<i64> = args
         .get(1)
         .filter(|s| !s.starts_with("--"))
@@ -14,7 +17,11 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(|| vec![1, 2, 4, 8, 16]);
-    let curves = dhpf_bench::figure7::run_traced(&procs, trace.as_ref().map(|t| &t.collector));
+    let curves = dhpf_bench::figure7::run_traced_threads(
+        &procs,
+        trace.as_ref().map(|t| &t.collector),
+        threads,
+    );
     println!("{}", dhpf_bench::figure7::render(&curves));
     if let Some(t) = &trace {
         match t.write() {

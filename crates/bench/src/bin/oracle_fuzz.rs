@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! oracle_fuzz [--seed N] [--iters N] [--time-budget SECONDS]
-//!             [--max-failures N] [--verbose] [--replay CASE_SEED]
+//!             [--max-failures N] [--threads N] [--verbose]
+//!             [--replay CASE_SEED]
 //! ```
 //!
 //! Exit status is non-zero when any law was violated, so CI can run this
@@ -28,6 +29,7 @@ fn main() {
     let budget = parse_flag(&args, "--time-budget").map(Duration::from_secs);
     let max_failures = parse_flag(&args, "--max-failures").unwrap_or(5) as usize;
     let verbose = args.iter().any(|a| a == "--verbose");
+    let threads = dhpf_bench::threads_from_args(&args);
     let cfg = OracleConfig::default();
 
     if let Some(case_seed) = parse_flag(&args, "--replay") {
@@ -85,9 +87,10 @@ fn main() {
         std::process::exit(if failures > 0 { 1 } else { 0 });
     }
 
-    let out = oracle::fuzz(seed, iters, budget, &cfg, max_failures);
+    let out = oracle::fuzz_threads(seed, iters, budget, &cfg, max_failures, threads);
     println!(
-        "oracle_fuzz: seed {seed}, {} iterations in {:.2?} ({} skipped at exactness limits)",
+        "oracle_fuzz: seed {seed}, {} iterations on {threads} thread(s) in {:.2?} \
+         ({} skipped at exactness limits)",
         out.iterations, out.elapsed, out.skips
     );
     println!("{:<20} {:>8} {:>8} {:>8}", "law", "runs", "skips", "fails");

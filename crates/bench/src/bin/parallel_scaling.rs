@@ -1,0 +1,81 @@
+//! SP-sym compile-time scaling across parallel-driver thread counts.
+//!
+//! Compiles the SP-sym variant (symbolic processor count — the paper's
+//! hardest Table 1 column) at `--threads 1,2,4,8`, verifies every run
+//! produces the bit-identical serial program, and writes a machine-readable
+//! `BENCH_parallel.json` snapshot for tracking the curve across commits.
+//!
+//! ```text
+//! parallel_scaling [--trials N] [--threads-list 1,2,4,8] [--json-out PATH]
+//! ```
+
+use dhpf_core::{compile, CompileOptions};
+use std::time::Instant;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials: usize = flag(&args, "--trials")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let threads_list: Vec<usize> = flag(&args, "--threads-list")
+        .map(|v| {
+            v.split(',')
+                .map(|x| x.parse().expect("thread count"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let json_out = flag(&args, "--json-out").unwrap_or_else(|| "BENCH_parallel.json".to_string());
+
+    let src = dhpf_bench::sources::sp_symbolic();
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("SP-sym compile scaling ({trials} trials per point, min reported)");
+    println!("host hardware threads: {host_threads}\n");
+
+    let mut golden: Option<String> = None;
+    let mut points = Vec::new();
+    let mut base_min = 0.0f64;
+    for &threads in &threads_list {
+        let opts = CompileOptions::new().threads(threads);
+        let mut samples = Vec::with_capacity(trials);
+        for _ in 0..trials.max(1) {
+            let t0 = Instant::now();
+            let c = compile(&src, &opts).expect("SP-sym compiles");
+            samples.push(t0.elapsed().as_secs_f64());
+            let text = format!("{:?}", c.program);
+            match &golden {
+                None => golden = Some(text),
+                Some(g) => assert_eq!(g, &text, "threads={threads} diverged from serial output"),
+            }
+        }
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        if threads == threads_list[0] {
+            base_min = min;
+        }
+        let speedup = base_min / min;
+        println!(
+            "threads {threads:>2}: min {min:>7.3}s  mean {mean:>7.3}s  speedup {speedup:>5.2}x"
+        );
+        points.push(format!(
+            "    {{\"threads\": {threads}, \"secs_min\": {min:.4}, \"secs_mean\": {mean:.4}, \
+             \"speedup_vs_serial\": {speedup:.3}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"sp-sym-compile-scaling\",\n  \"source\": \"SP-sym \
+         (benchmarks/sp.hpf with symbolic processor count)\",\n  \"trials\": {trials},\n  \
+         \"host_hardware_threads\": {host_threads},\n  \"bit_identical_output\": true,\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        points.join(",\n")
+    );
+    std::fs::write(&json_out, json).expect("write snapshot");
+    println!("\nsnapshot written to {json_out}");
+}

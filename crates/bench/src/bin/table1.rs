@@ -5,16 +5,22 @@
 //! Pass `--trace-out <path>` (or set `DHPF_TRACE`) to dump the structured
 //! compile trace: `.jsonl` for JSON lines, anything else for Chrome
 //! `trace_event` JSON.
+//! Pass `--threads N` to compile on the parallel driver (default 1,
+//! the serial pipeline; output is bit-identical either way).
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let use_cache = !args.iter().any(|a| a == "--no-cache");
+    let threads = dhpf_bench::threads_from_args(&args);
     let trace = dhpf_bench::traceopt::from_args_env(&args);
     if !use_cache {
         println!("(omega context cache disabled via --no-cache)\n");
     }
+    if threads > 1 {
+        println!("(parallel driver: --threads {threads})\n");
+    }
     let table = match &trace {
-        Some(t) => dhpf_bench::table1::run_traced(use_cache, &t.collector),
-        None => dhpf_bench::table1::run_with(use_cache),
+        Some(t) => dhpf_bench::table1::run_traced_threads(use_cache, &t.collector, threads),
+        None => dhpf_bench::table1::run_threads(use_cache, threads),
     };
     println!("{table}");
     if let Some(t) = &trace {

@@ -33,10 +33,7 @@ fn main() {
         collector: dhpf_obs::Collector::new(),
     });
 
-    let opts = CompileOptions {
-        trace: Some(out.collector.clone()),
-        ..CompileOptions::default()
-    };
+    let opts = CompileOptions::new().trace(out.collector.clone());
     let compiled = compile(&src, &opts).unwrap_or_else(|e| fail(&format!("compile: {e}")));
 
     out.write()

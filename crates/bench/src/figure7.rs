@@ -49,7 +49,7 @@ pub fn curve(
     inputs: &[(&str, i64)],
     procs: &[i64],
 ) -> Curve {
-    curve_with(bench, src, size_label, size, inputs, procs, None)
+    curve_with(bench, src, size_label, size, inputs, procs, None, 1)
 }
 
 /// [`curve`] with an optional trace collector: the compilation and every
@@ -68,16 +68,17 @@ pub fn curve_with(
     inputs: &[(&str, i64)],
     procs: &[i64],
     trace: Option<&Collector>,
+    threads: usize,
 ) -> Curve {
     let src = match size {
         Some((from, to)) => src.replace(from, to),
         None => src.to_string(),
     };
     let span = trace.map(|c| (c, c.begin(&format!("{bench} ({size_label})"), "figure7")));
-    let opts = CompileOptions {
-        trace: trace.cloned(),
-        ..CompileOptions::default()
-    };
+    let mut opts = CompileOptions::new().threads(threads);
+    if let Some(c) = trace {
+        opts = opts.trace(c.clone());
+    }
     let compiled: Compiled = compile(&src, &opts).unwrap_or_else(|e| panic!("{bench}: {e}"));
     let inputs: HashMap<String, i64> = inputs.iter().map(|&(k, v)| (k.to_string(), v)).collect();
     let machine = MachineModel::sp2();
@@ -126,6 +127,12 @@ pub fn run(procs: &[i64]) -> Vec<Curve> {
 /// [`run`] with an optional trace collector threaded through every
 /// compilation and simulation.
 pub fn run_traced(procs: &[i64], trace: Option<&Collector>) -> Vec<Curve> {
+    run_traced_threads(procs, trace, 1)
+}
+
+/// [`run_traced`] compiling on the parallel driver (`--threads N`);
+/// `threads = 1` is the serial pipeline. Simulation is unaffected.
+pub fn run_traced_threads(procs: &[i64], trace: Option<&Collector>, threads: usize) -> Vec<Curve> {
     vec![
         curve_with(
             "TOMCATV",
@@ -135,6 +142,7 @@ pub fn run_traced(procs: &[i64], trace: Option<&Collector>) -> Vec<Curve> {
             &[("niter", 3)],
             procs,
             trace,
+            threads,
         ),
         curve_with(
             "TOMCATV",
@@ -144,6 +152,7 @@ pub fn run_traced(procs: &[i64], trace: Option<&Collector>) -> Vec<Curve> {
             &[("niter", 3)],
             procs,
             trace,
+            threads,
         ),
         curve_with(
             "ERLEBACHER",
@@ -153,6 +162,7 @@ pub fn run_traced(procs: &[i64], trace: Option<&Collector>) -> Vec<Curve> {
             &[],
             procs,
             trace,
+            threads,
         ),
         curve_with(
             "ERLEBACHER",
@@ -162,6 +172,7 @@ pub fn run_traced(procs: &[i64], trace: Option<&Collector>) -> Vec<Curve> {
             &[],
             procs,
             trace,
+            threads,
         ),
         curve_with(
             "JACOBI",
@@ -171,6 +182,7 @@ pub fn run_traced(procs: &[i64], trace: Option<&Collector>) -> Vec<Curve> {
             &[("niter", 3)],
             procs,
             trace,
+            threads,
         ),
         curve_with(
             "JACOBI",
@@ -180,6 +192,7 @@ pub fn run_traced(procs: &[i64], trace: Option<&Collector>) -> Vec<Curve> {
             &[("niter", 3)],
             procs,
             trace,
+            threads,
         ),
     ]
 }

@@ -46,13 +46,19 @@ pub fn column(name: &str, src: &str) -> Column {
 ///
 /// Panics if the variant fails to compile (the harness inputs are fixed).
 pub fn column_with(name: &str, src: &str, use_cache: bool) -> Column {
-    let opts = CompileOptions {
-        use_cache,
-        ..CompileOptions::default()
-    };
+    column_opts(name, src, &CompileOptions::new().cache(use_cache))
+}
+
+/// [`column_with`] with fully explicit [`CompileOptions`] (thread count,
+/// cache, loop splitting): two trials, the faster one reported.
+///
+/// # Panics
+///
+/// Panics if the variant fails to compile (the harness inputs are fixed).
+pub fn column_opts(name: &str, src: &str, opts: &CompileOptions) -> Column {
     let mut compiled =
-        compile(src, &opts).unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
-    let second = compile(src, &opts).unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+        compile(src, opts).unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+    let second = compile(src, opts).unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
     if second.report.timers.total() < compiled.report.timers.total() {
         compiled = second;
     }
@@ -68,12 +74,18 @@ pub fn column_with(name: &str, src: &str, use_cache: bool) -> Column {
 ///
 /// Panics if the variant fails to compile (the harness inputs are fixed).
 pub fn column_traced(name: &str, src: &str, use_cache: bool, trace: &Collector) -> Column {
-    let opts = CompileOptions {
-        use_cache,
-        trace: Some(trace.clone()),
-        ..CompileOptions::default()
-    };
-    let compiled = compile(src, &opts).unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+    let opts = CompileOptions::new().cache(use_cache).trace(trace.clone());
+    column_traced_opts(name, src, &opts)
+}
+
+/// [`column_traced`] with fully explicit [`CompileOptions`]: one trial,
+/// recorded on whatever collector the options carry.
+///
+/// # Panics
+///
+/// Panics if the variant fails to compile (the harness inputs are fixed).
+pub fn column_traced_opts(name: &str, src: &str, opts: &CompileOptions) -> Column {
+    let compiled = compile(src, opts).unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
     finish_column(name, compiled)
 }
 
@@ -108,20 +120,37 @@ pub fn run() -> String {
 
 /// Runs Table 1 with the Omega context cache on or off (`--no-cache`).
 pub fn run_with(use_cache: bool) -> String {
-    let sp4 = column_with("SP-4", dhpf_bench_sources_sp(), use_cache);
+    run_threads(use_cache, 1)
+}
+
+/// Runs Table 1 on the parallel driver (`--threads N`); `threads = 1` is
+/// the serial pipeline.
+pub fn run_threads(use_cache: bool, threads: usize) -> String {
+    let opts = CompileOptions::new().cache(use_cache).threads(threads);
+    let sp4 = column_opts("SP-4", dhpf_bench_sources_sp(), &opts);
     let spsym_src = crate::sources::sp_symbolic();
-    let spsym = column_with("SP-sym", &spsym_src, use_cache);
-    let tsym = column_with("T-sym", crate::sources::TOMCATV, use_cache);
+    let spsym = column_opts("SP-sym", &spsym_src, &opts);
+    let tsym = column_opts("T-sym", crate::sources::TOMCATV, &opts);
     render(&[sp4, spsym, tsym])
 }
 
 /// Runs Table 1 recording every compilation on `trace` (one trial per
 /// variant, see [`column_traced`]).
 pub fn run_traced(use_cache: bool, trace: &Collector) -> String {
-    let sp4 = column_traced("SP-4", dhpf_bench_sources_sp(), use_cache, trace);
+    run_traced_threads(use_cache, trace, 1)
+}
+
+/// [`run_traced`] compiling on the parallel driver (`--threads N`);
+/// `threads = 1` is the serial pipeline.
+pub fn run_traced_threads(use_cache: bool, trace: &Collector, threads: usize) -> String {
+    let opts = CompileOptions::new()
+        .cache(use_cache)
+        .trace(trace.clone())
+        .threads(threads);
+    let sp4 = column_traced_opts("SP-4", dhpf_bench_sources_sp(), &opts);
     let spsym_src = crate::sources::sp_symbolic();
-    let spsym = column_traced("SP-sym", &spsym_src, use_cache, trace);
-    let tsym = column_traced("T-sym", crate::sources::TOMCATV, use_cache, trace);
+    let spsym = column_traced_opts("SP-sym", &spsym_src, &opts);
+    let tsym = column_traced_opts("T-sym", crate::sources::TOMCATV, &opts);
     render(&[sp4, spsym, tsym])
 }
 

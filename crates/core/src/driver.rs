@@ -1,14 +1,37 @@
-//! End-to-end compilation driver with phase instrumentation (Table 1).
+//! End-to-end compilation driver with phase instrumentation (Table 1),
+//! in serial or parallel (`CompileOptions::threads`) form.
+//!
+//! The parallel pipeline keeps the serial path byte-identical at
+//! `threads <= 1` and is gated by bit-identical output above it: program
+//! units are analyzed concurrently, interprocedural layout collection runs
+//! first (serially, sharing the Omega [`Context`]), and then a dependency
+//! DAG of per-nest synthesis tasks — with one assembly task per unit
+//! depending on that unit's nests — executes on a scoped worker pool.
+//! Communication-event ids are renumbered during assembly to reproduce the
+//! serial single-counter numbering exactly (see `spmd::assemble_spmd`).
 
 use crate::layout::build_layouts_in;
 use crate::phases::PhaseTimers;
-use crate::spmd::{build_spmd, CompileError, SpmdOptions, SpmdProgram, SpmdStats};
+use crate::spmd::{
+    assemble_spmd, build_nest_standalone, build_spmd, plan_items, CompileError, NestOut,
+    SpmdOptions, SpmdProgram, SpmdStats, UnitPlan,
+};
 use dhpf_hpf::{analyze, parse, Analysis};
 use dhpf_obs::Collector;
 use dhpf_omega::{CacheStats, Context};
+use std::sync::Mutex;
 
 /// Options controlling compilation.
+///
+/// Construct with the fluent builder — the struct is `#[non_exhaustive]`,
+/// so new knobs can be added without breaking callers:
+///
+/// ```
+/// use dhpf_core::CompileOptions;
+/// let opts = CompileOptions::new().threads(4).cache(true);
+/// ```
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct CompileOptions {
     /// SPMD synthesis options.
     pub spmd: SpmdOptions,
@@ -22,6 +45,11 @@ pub struct CompileOptions {
     /// Tracing observes the compilation without perturbing it: the
     /// produced [`SpmdProgram`] is identical with or without a collector.
     pub trace: Option<Collector>,
+    /// Worker threads for the parallel pipeline. `1` (the default) runs
+    /// the serial driver unchanged; larger values analyze units and
+    /// synthesize independent loop nests concurrently on a scoped pool.
+    /// The compiled program is bit-identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for CompileOptions {
@@ -30,7 +58,39 @@ impl Default for CompileOptions {
             spmd: SpmdOptions::default(),
             use_cache: true,
             trace: None,
+            threads: 1,
         }
+    }
+}
+
+impl CompileOptions {
+    /// Default options: serial, cached, untraced, loop splitting on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Enables or disables the shared Omega memoization context.
+    pub fn cache(mut self, on: bool) -> Self {
+        self.use_cache = on;
+        self
+    }
+
+    /// Attaches a structured trace collector.
+    pub fn trace(mut self, c: Collector) -> Self {
+        self.trace = Some(c);
+        self
+    }
+
+    /// Enables or disables Figure-4 loop splitting.
+    pub fn loop_splitting(mut self, on: bool) -> Self {
+        self.spmd.loop_splitting = on;
+        self
     }
 }
 
@@ -69,6 +129,47 @@ pub struct CompileReport {
 ///
 /// Returns [`CompileError`] for frontend, semantic, or synthesis failures.
 pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    // One shared hash-consing/memoization arena per compilation: attached
+    // to the layout relations, it propagates to every derived set.
+    let ctx = if opts.use_cache {
+        Context::new()
+    } else {
+        Context::disabled()
+    };
+    compile_impl(&ctx, src, opts)
+}
+
+/// Compiles with a caller-provided Omega [`Context`], so one long-lived
+/// sharded context (and its warm memo tables) can serve many compilations
+/// — e.g. a compile server handling concurrent requests. The context's own
+/// enabled/disabled state governs caching; [`CompileOptions::use_cache`]
+/// is ignored on this path. Cache counters accumulate across calls:
+/// [`CompileReport::cache`] reports the context's *cumulative* totals.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for frontend, semantic, or synthesis failures.
+pub fn compile_with(
+    ctx: &Context,
+    src: &str,
+    opts: &CompileOptions,
+) -> Result<Compiled, CompileError> {
+    compile_impl(ctx, src, opts)
+}
+
+fn compile_impl(ctx: &Context, src: &str, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    ctx.set_collector(opts.trace.clone());
+    let out = compile_inner(ctx, src, opts);
+    // Always detach: with `compile_with` the context outlives this call.
+    ctx.set_collector(None);
+    out
+}
+
+fn compile_inner(
+    ctx: &Context,
+    src: &str,
+    opts: &CompileOptions,
+) -> Result<Compiled, CompileError> {
     let mut timers = PhaseTimers::new();
     // One "compile" root span per compilation; phase spans opened by the
     // timers and the Omega op samples recorded by the context both nest
@@ -81,49 +182,54 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileErro
     if let Some(c) = &opts.trace {
         timers.attach_collector(c.clone());
     }
-    // One shared hash-consing/memoization arena per compilation: attached
-    // to the layout relations, it propagates to every derived set.
-    let ctx = if opts.use_cache {
-        Context::new()
-    } else {
-        Context::disabled()
-    };
-    ctx.set_collector(opts.trace.clone());
+    let threads = opts.threads.max(1);
     let prog = timers.time("parsing", |_| parse(src))?;
     if prog.units.is_empty() {
         return Err(CompileError::Unsupported("no program units".to_string()));
     }
     // "Interprocedural analysis": analyze every unit; directives of the
     // main unit drive synthesis (dHPF propagates layouts across calls).
+    // Units are independent here, so the parallel path fans them out.
     let analyses = timers.time("interprocedural analysis", |_| {
-        prog.units
-            .iter()
-            .map(analyze)
-            .collect::<Result<Vec<_>, _>>()
+        if threads <= 1 {
+            prog.units
+                .iter()
+                .map(analyze)
+                .collect::<Result<Vec<_>, _>>()
+        } else {
+            crate::parallel::ordered_map(threads, prog.units.len(), |i| analyze(&prog.units[i]))
+                .into_iter()
+                .collect::<Result<Vec<_>, _>>()
+        }
     })?;
     let units = analyses.len();
     let main_idx = prog.units.iter().position(|u| u.is_program).unwrap_or(0);
     let mut compiled: Option<(SpmdProgram, SpmdStats)> = None;
     timers.time("module compilation", |t| -> Result<(), CompileError> {
-        // Every unit goes through layout construction and (for units with
-        // executable bodies) SPMD synthesis; only the main unit's program is
-        // retained, matching how the paper reports whole-module times.
-        for (k, analysis) in analyses.iter().enumerate() {
-            let layouts = t.time("layout construction", |_| {
-                build_layouts_in(analysis, Some(&ctx))
-            });
-            let result = build_spmd(analysis, &layouts, &opts.spmd, Some(t));
-            match result {
-                Ok(ps) => {
-                    if k == main_idx {
-                        compiled = Some(ps);
+        if threads <= 1 {
+            // Every unit goes through layout construction and (for units
+            // with executable bodies) SPMD synthesis; only the main unit's
+            // program is retained, matching how the paper reports
+            // whole-module times.
+            for (k, analysis) in analyses.iter().enumerate() {
+                let layouts = t.time("layout construction", |_| {
+                    build_layouts_in(analysis, Some(ctx))
+                });
+                let result = build_spmd(analysis, &layouts, &opts.spmd, Some(t));
+                match result {
+                    Ok(ps) => {
+                        if k == main_idx {
+                            compiled = Some(ps);
+                        }
                     }
+                    Err(e) if k == main_idx => return Err(e),
+                    Err(_) => {} // non-main unit with unsupported constructs
                 }
-                Err(e) if k == main_idx => return Err(e),
-                Err(_) => {} // non-main unit with unsupported constructs
             }
+            Ok(())
+        } else {
+            compile_units_parallel(ctx, &analyses, main_idx, opts, threads, t, &mut compiled)
         }
-        Ok(())
     })?;
     let (program, stats) = compiled.ok_or_else(|| {
         CompileError::Unsupported("no compilable main unit in the program".to_string())
@@ -140,7 +246,6 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileErro
         c.counter_on(id, "comm events", stats.comm_events as i64);
         c.end(id);
     }
-    ctx.set_collector(None);
     Ok(Compiled {
         program,
         analysis: analyses
@@ -154,6 +259,136 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileErro
             cache,
         },
     })
+}
+
+/// The parallel "module compilation" phase: serial layout collection and
+/// nest planning per unit (sharing the open phase structure and `ctx`),
+/// then a task DAG — nest-synthesis tasks plus one assembly task per unit,
+/// each assembly depending on its unit's nests — on a scoped pool. Results
+/// land in per-task slots; per-nest timers are merged into `t` in serial
+/// traversal order afterwards, so phase rows reconcile deterministically.
+#[allow(clippy::too_many_arguments)]
+fn compile_units_parallel(
+    ctx: &Context,
+    analyses: &[Analysis],
+    main_idx: usize,
+    opts: &CompileOptions,
+    threads: usize,
+    t: &mut PhaseTimers,
+    compiled: &mut Option<(SpmdProgram, SpmdStats)>,
+) -> Result<(), CompileError> {
+    // Interprocedural layout collection first: serial, in unit order.
+    let mut unit_layouts = Vec::with_capacity(analyses.len());
+    let mut unit_plans: Vec<Result<UnitPlan, CompileError>> = Vec::with_capacity(analyses.len());
+    for (k, analysis) in analyses.iter().enumerate() {
+        let layouts = t.time("layout construction", |_| {
+            build_layouts_in(analysis, Some(ctx))
+        });
+        let plan = plan_items(analysis, &layouts, &analysis.unit.body);
+        if k == main_idx {
+            if let Err(e) = &plan {
+                return Err(e.clone());
+            }
+        }
+        unit_layouts.push(layouts);
+        unit_plans.push(plan);
+    }
+    // Task ids: nests first (global, in (unit, nest) order), then one
+    // assembly task per plannable unit.
+    let mut nest_tasks: Vec<(usize, usize)> = Vec::new(); // (unit, nest)
+    let mut unit_nest_tasks: Vec<Vec<usize>> = vec![Vec::new(); analyses.len()];
+    for (k, plan) in unit_plans.iter().enumerate() {
+        if let Ok(p) = plan {
+            for j in 0..p.nests.len() {
+                unit_nest_tasks[k].push(nest_tasks.len());
+                nest_tasks.push((k, j));
+            }
+        }
+    }
+    let planned: Vec<usize> = unit_plans
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_ok())
+        .map(|(k, _)| k)
+        .collect();
+    let n_nests = nest_tasks.len();
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n_nests];
+    for &k in &planned {
+        deps.push(unit_nest_tasks[k].clone());
+    }
+    // Stitch worker spans under the open "module compilation" phase span.
+    let anchor = t.collector().cloned().zip(t.current_span());
+    type UnitResult = Result<(SpmdProgram, SpmdStats), CompileError>;
+    let nest_slots: Vec<Mutex<Option<Result<NestOut, CompileError>>>> =
+        (0..n_nests).map(|_| Mutex::new(None)).collect();
+    let unit_slots: Vec<Mutex<Option<UnitResult>>> =
+        planned.iter().map(|_| Mutex::new(None)).collect();
+    let unit_timers: Vec<Mutex<Vec<PhaseTimers>>> =
+        planned.iter().map(|_| Mutex::new(Vec::new())).collect();
+    crate::parallel::run_dag(threads, &deps, |task| {
+        if task < n_nests {
+            let (unit, nest) = nest_tasks[task];
+            let plan = unit_plans[unit].as_ref().expect("nest tasks are planned");
+            let out = build_nest_standalone(
+                &analyses[unit],
+                &unit_layouts[unit],
+                &opts.spmd,
+                &plan.nests[nest],
+                &format!("nest {unit}.{nest}"),
+                anchor.clone(),
+            );
+            *nest_slots[task].lock().unwrap() = Some(out);
+        } else {
+            let pi = task - n_nests;
+            let k = planned[pi];
+            let plan = unit_plans[k].as_ref().expect("assembly is planned");
+            let mut outs: Vec<NestOut> = Vec::new();
+            let mut err: Option<CompileError> = None;
+            let mut worker_timers: Vec<PhaseTimers> = Vec::new();
+            for &ti in &unit_nest_tasks[k] {
+                let slot = nest_slots[ti].lock().unwrap().take();
+                match slot.expect("dependency completed before assembly") {
+                    Ok(out) if err.is_none() => {
+                        worker_timers.push(out.timers.clone());
+                        outs.push(out);
+                    }
+                    Ok(_) => {}
+                    // Lowest nest index wins: the error the serial pass
+                    // would have hit first.
+                    Err(e) if err.is_none() => err = Some(e),
+                    Err(_) => {}
+                }
+            }
+            *unit_timers[pi].lock().unwrap() = worker_timers;
+            let res = match err {
+                Some(e) => Err(e),
+                None => assemble_spmd(&analyses[k], &unit_layouts[k], &plan.skel, outs),
+            };
+            *unit_slots[pi].lock().unwrap() = Some(res);
+        }
+    });
+    // Deterministic reconciliation: merge nest timers and pick results in
+    // serial unit order.
+    for (pi, &k) in planned.iter().enumerate() {
+        for wt in unit_timers[pi].lock().unwrap().iter() {
+            t.merge(wt);
+        }
+        let res = unit_slots[pi]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("unit assembled");
+        match res {
+            Ok(ps) => {
+                if k == main_idx {
+                    *compiled = Some(ps);
+                }
+            }
+            Err(e) if k == main_idx => return Err(e),
+            Err(_) => {} // non-main unit with unsupported constructs
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -210,5 +445,33 @@ end
         assert!(names.contains(&"module compilation"));
         assert!(names.contains(&"communication generation"));
         assert!(names.contains(&"mult mappings code generation"));
+    }
+
+    #[test]
+    fn parallel_compile_matches_serial() {
+        let serial = compile(JACOBI, &CompileOptions::new()).unwrap();
+        let parallel = compile(JACOBI, &CompileOptions::new().threads(4)).unwrap();
+        assert_eq!(
+            format!("{:?}", serial.program),
+            format!("{:?}", parallel.program)
+        );
+        assert_eq!(serial.report.stats, parallel.report.stats);
+        // Phase rows reconcile: same names, same structure.
+        for (name, _, _) in serial.report.timers.rows() {
+            assert!(
+                parallel.report.timers.phase(&name) > std::time::Duration::ZERO
+                    || name == "opt of generated code"
+            );
+        }
+    }
+
+    #[test]
+    fn compile_with_reuses_one_context() {
+        let ctx = Context::new();
+        let a = compile_with(&ctx, JACOBI, &CompileOptions::new()).unwrap();
+        let b = compile_with(&ctx, JACOBI, &CompileOptions::new()).unwrap();
+        assert_eq!(format!("{:?}", a.program), format!("{:?}", b.program));
+        // The second compilation hits the warm memo tables.
+        assert!(b.report.cache.total_hits() > a.report.cache.total_hits());
     }
 }

@@ -62,9 +62,20 @@ pub fn contiguity(comm: &Set, local: &Set) -> Contiguity {
     for d in 0..n {
         let cd = comm.project_onto(&[d]);
         let ad = local.project_onto(&[d]);
-        if !cd.equal(&ad) {
-            k = d;
-            break;
+        match cd.try_equal(&ad) {
+            Ok(true) => {}
+            Ok(false) => {
+                k = d;
+                break;
+            }
+            // Comparison hit an exactness limit: undecidable at compile
+            // time, so defer to a runtime scan rather than panic.
+            Err(e) => {
+                return Contiguity::Runtime(RuntimeCheck {
+                    description: format!("dimension {d} span comparison inexact: {e}"),
+                    cond: Cond::Bool(false),
+                })
+            }
         }
     }
     if k == n {

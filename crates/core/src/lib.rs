@@ -15,6 +15,7 @@ pub mod driver;
 pub mod inplace;
 pub mod ir;
 pub mod layout;
+mod parallel;
 pub mod phases;
 pub mod probes;
 pub mod split;
@@ -24,7 +25,7 @@ pub mod vp;
 pub use comm::{comm_sets, CommRef, CommSets};
 pub use cp::{cp_map, cp_map_at_level, myid_set};
 pub use dependence::{carried_level, carried_level_in, placement_level, placement_level_in};
-pub use driver::{compile, CompileOptions, CompileReport, Compiled};
+pub use driver::{compile, compile_with, CompileOptions, CompileReport, Compiled};
 pub use inplace::{contiguity, Contiguity, RuntimeCheck};
 pub use ir::{collect_statements, ArrayRef, LoopContext, ReduceOp, Reduction, StmtInfo};
 pub use layout::{build_layouts, build_layouts_in, Layout, ProcCoord};

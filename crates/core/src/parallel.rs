@@ -1,0 +1,156 @@
+//! Minimal scoped-thread execution primitives for the parallel driver.
+//!
+//! Zero dependencies: a work-stealing-free ordered parallel map (atomic
+//! work index over a fixed task list) and a dependency-DAG executor
+//! (indegree counting with a mutex-guarded ready queue). Both run on
+//! `std::thread::scope`, so tasks may borrow from the caller's stack, and
+//! both preserve *determinism of results*: outputs land in slots indexed
+//! by task id, independent of which worker ran what when.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Runs `f(0..n)` on `threads` scoped workers, returning the results in
+/// task order. `threads <= 1` degenerates to a plain serial loop on the
+/// calling thread (no spawn, byte-identical scheduling to serial code).
+pub fn ordered_map<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled its slot"))
+        .collect()
+}
+
+/// Shared scheduler state of [`run_dag`].
+struct DagState {
+    ready: Vec<usize>,
+    indegree: Vec<usize>,
+    remaining: usize,
+}
+
+/// Executes a dependency DAG of `n` tasks on `threads` scoped workers.
+///
+/// `deps[i]` lists the tasks that must complete before task `i` starts.
+/// Ready tasks are dispatched in ascending task id (the queue is kept
+/// sorted), so a single-threaded run visits tasks in topological id order
+/// — the same order a serial loop over a topologically-sorted list would.
+/// Tasks only signal completion; results should be written into
+/// caller-owned per-task slots (e.g. a `Vec<Mutex<Option<T>>>`).
+pub fn run_dag<F>(threads: usize, deps: &[Vec<usize>], f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let n = deps.len();
+    if n == 0 {
+        return;
+    }
+    let mut indegree = vec![0usize; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ds) in deps.iter().enumerate() {
+        indegree[i] = ds.len();
+        for &d in ds {
+            assert!(d < n, "dependency on unknown task");
+            dependents[d].push(i);
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    assert!(!ready.is_empty(), "dependency cycle: no root task");
+    ready.sort_unstable_by(|a, b| b.cmp(a)); // pop() yields the lowest id
+    let state = Mutex::new(DagState {
+        ready,
+        indegree,
+        remaining: n,
+    });
+    let wake = Condvar::new();
+    std::thread::scope(|s| {
+        for _ in 0..threads.max(1).min(n) {
+            s.spawn(|| loop {
+                let task = {
+                    let mut st = state.lock().unwrap();
+                    loop {
+                        if st.remaining == 0 {
+                            return;
+                        }
+                        if let Some(t) = st.ready.pop() {
+                            break t;
+                        }
+                        st = wake.wait(st).unwrap();
+                    }
+                };
+                f(task);
+                let mut st = state.lock().unwrap();
+                st.remaining -= 1;
+                for &d in &dependents[task] {
+                    st.indegree[d] -= 1;
+                    if st.indegree[d] == 0 {
+                        st.ready.push(d);
+                        st.ready.sort_unstable_by(|a, b| b.cmp(a));
+                    }
+                }
+                drop(st);
+                wake.notify_all();
+            });
+        }
+    });
+    let st = state.into_inner().unwrap();
+    assert_eq!(st.remaining, 0, "dependency cycle: tasks left unrunnable");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn ordered_map_preserves_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = ordered_map(threads, 17, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn ordered_map_empty_and_single() {
+        assert_eq!(ordered_map(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(ordered_map(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn dag_respects_dependencies() {
+        // Diamond per unit: 0 -> {1,2} -> 3, plus an independent chain.
+        let deps: Vec<Vec<usize>> = vec![vec![], vec![0], vec![0], vec![1, 2], vec![], vec![4]];
+        for threads in [1, 2, 4] {
+            let stamp = AtomicU64::new(0);
+            let finished: Vec<AtomicU64> = (0..deps.len()).map(|_| AtomicU64::new(0)).collect();
+            run_dag(threads, &deps, |i| {
+                let t = stamp.fetch_add(1, Ordering::SeqCst) + 1;
+                finished[i].store(t, Ordering::SeqCst);
+            });
+            let at = |i: usize| finished[i].load(Ordering::SeqCst);
+            assert!((0..deps.len()).all(|i| at(i) > 0));
+            assert!(at(0) < at(1) && at(0) < at(2));
+            assert!(at(1) < at(3) && at(2) < at(3));
+            assert!(at(4) < at(5));
+        }
+    }
+}

@@ -180,6 +180,48 @@ impl PhaseTimers {
         d
     }
 
+    /// The span id of the innermost open phase in the attached collector's
+    /// tree, if a collector is attached and a phase is open. The parallel
+    /// driver passes this to `Collector::begin_child_of` so worker-thread
+    /// spans stitch under the phase that spawned them.
+    pub fn current_span(&self) -> Option<SpanId> {
+        self.spans.last().copied()
+    }
+
+    /// Merges another timer set (a worker's per-nest measurements) into
+    /// this one, deterministically: `other`'s top-level phases are adopted
+    /// as children of this timer's innermost open phase (the *anchor*),
+    /// crediting the anchor's child-time so self-time accounting matches
+    /// the serial pipeline; nested parents carry over unchanged. Phase
+    /// first-use order appends `other`'s new names in their own order, so
+    /// merging workers in nest order reproduces the serial row order.
+    pub fn merge(&mut self, other: &PhaseTimers) {
+        let anchor = self.stack.last().cloned();
+        for name in &other.order {
+            let dt = other.totals[name];
+            let parent = match other.parent.get(name).cloned().flatten() {
+                Some(p) => Some(p),
+                None => anchor.clone(),
+            };
+            if !self.totals.contains_key(name) {
+                self.order.push(name.clone());
+                self.totals.insert(name.clone(), Duration::ZERO);
+                self.parent.insert(name.clone(), parent.clone());
+            }
+            *self.totals.entry(name.clone()).or_default() += dt;
+            // Credit the anchor's child-time for other's *top-level* phases
+            // only; nested child-time transfers directly below.
+            if other.parent.get(name).cloned().flatten().is_none() {
+                if let Some(a) = &anchor {
+                    *self.child_time.entry(a.clone()).or_default() += dt;
+                }
+            }
+        }
+        for (name, dt) in &other.child_time {
+            *self.child_time.entry(name.clone()).or_default() += *dt;
+        }
+    }
+
     /// Records the Omega-context cache counters of the compilation these
     /// timers instrumented, so Table-1 renderers can report cache
     /// effectiveness next to the wall-clock rows.
@@ -303,6 +345,32 @@ mod tests {
         assert_eq!(t.phase("c"), Duration::from_millis(4));
         assert_eq!(t.phase("p"), Duration::from_millis(5));
         assert_eq!(t.self_time("p"), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn merge_adopts_top_level_phases_under_anchor() {
+        let mut worker = PhaseTimers::new();
+        worker.open("placement");
+        worker.add("cp", Duration::from_millis(2));
+        worker.close("placement", Duration::from_millis(3));
+        worker.finish();
+
+        let mut main = PhaseTimers::new();
+        main.open("module compilation");
+        main.merge(&worker);
+        main.close("module compilation", Duration::from_millis(3));
+        main.finish();
+
+        assert_eq!(main.parent_of("placement"), Some("module compilation"));
+        assert_eq!(main.parent_of("cp"), Some("placement"));
+        assert_eq!(main.phase("placement"), Duration::from_millis(3));
+        assert_eq!(main.phase("cp"), Duration::from_millis(2));
+        assert_eq!(main.self_time("placement"), Duration::from_millis(1));
+        assert_eq!(main.self_time("module compilation"), Duration::ZERO);
+        // Merging a second worker accumulates rather than duplicates.
+        main.merge(&worker);
+        assert_eq!(main.phase("placement"), Duration::from_millis(6));
+        assert_eq!(main.rows().iter().filter(|r| r.0 == "placement").count(), 1);
     }
 
     #[test]

@@ -136,17 +136,16 @@ pub fn comm_equiv(a: &CommSets, b: &CommSets) -> Result<(), String> {
             Err(e) => return Err(format!("comm_equiv: {name} comparison inexact: {e}")),
         }
     }
-    if !a.send_map.equal(&b.send_map) {
-        return Err(format!(
-            "comm_equiv: send_map differs:\n  {}\n  {}",
-            a.send_map, b.send_map
-        ));
-    }
-    if !a.recv_map.equal(&b.recv_map) {
-        return Err(format!(
-            "comm_equiv: recv_map differs:\n  {}\n  {}",
-            a.recv_map, b.recv_map
-        ));
+    let map_pairs = [
+        ("send_map", &a.send_map, &b.send_map),
+        ("recv_map", &a.recv_map, &b.recv_map),
+    ];
+    for (name, x, y) in map_pairs {
+        match x.try_equal(y) {
+            Ok(true) => {}
+            Ok(false) => return Err(format!("comm_equiv: {name} differs:\n  {x}\n  {y}")),
+            Err(e) => return Err(format!("comm_equiv: {name} comparison inexact: {e}")),
+        }
     }
     Ok(())
 }

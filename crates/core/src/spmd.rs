@@ -267,6 +267,19 @@ pub fn build_spmd(
         octx,
     };
     let items = build_items(&mut synth, &analysis.unit.body)?;
+    let program = finish_program(analysis, layouts, items, synth.events)?;
+    Ok((program, synth.stats))
+}
+
+/// Assembles the unit-level program around already-built items: processor
+/// grid, array allocations (with owned-set enumeration code), inputs.
+/// Shared by the serial path and the parallel assembly.
+fn finish_program(
+    analysis: &Analysis,
+    layouts: &BTreeMap<String, Layout>,
+    items: Vec<SpmdItem>,
+    events: Vec<CommEvent>,
+) -> Result<SpmdProgram, CompileError> {
     // Processor grid: from the distributed layouts (all share one arrangement).
     let proc_dims = grid_of(analysis, layouts);
     // Arrays.
@@ -299,15 +312,14 @@ pub fn build_spmd(
     }
     let mut inputs = Vec::new();
     collect_inputs(&analysis.unit.body, &mut inputs);
-    let program = SpmdProgram {
+    Ok(SpmdProgram {
         name: analysis.unit.name.clone(),
         proc_dims,
         arrays,
         inputs,
         items,
-        events: synth.events,
-    };
-    Ok((program, synth.stats))
+        events,
+    })
 }
 
 fn grid_of(analysis: &Analysis, layouts: &BTreeMap<String, Layout>) -> Vec<ProcDimSpec> {
@@ -380,7 +392,9 @@ fn build_items(synth: &mut Synth, body: &[Stmt]) -> Result<Vec<SpmdItem>, Compil
                 )));
             }
             StmtKind::Assign { name, rhs, .. } => {
-                if !synth.analysis.is_array(name) && !reads_distributed_array(synth, rhs) {
+                if !synth.analysis.is_array(name)
+                    && !reads_distributed_array(synth.analysis, synth.layouts, rhs)
+                {
                     // Pure scalar statement: replicated.
                     flush_nest(synth, &mut pending, &mut items)?;
                     items.push(SpmdItem::Serial(s.clone()));
@@ -393,7 +407,8 @@ fn build_items(synth: &mut Synth, body: &[Stmt]) -> Result<Vec<SpmdItem>, Compil
                 else_body,
                 ..
             } => {
-                if is_pure_scalar_block(synth, then_body) && is_pure_scalar_block(synth, else_body)
+                if is_pure_scalar_block(synth.analysis, synth.layouts, then_body)
+                    && is_pure_scalar_block(synth.analysis, synth.layouts, else_body)
                 {
                     flush_nest(synth, &mut pending, &mut items)?;
                     items.push(SpmdItem::Serial(s.clone()));
@@ -412,7 +427,7 @@ fn build_items(synth: &mut Synth, body: &[Stmt]) -> Result<Vec<SpmdItem>, Compil
                 body: do_body,
                 ..
             } => {
-                if is_serial_loop(synth, var, do_body) {
+                if is_serial_loop(synth.analysis, synth.layouts, var, do_body) {
                     flush_nest(synth, &mut pending, &mut items)?;
                     let inner = build_items(synth, do_body)?;
                     items.push(SpmdItem::SerialLoop {
@@ -449,54 +464,336 @@ fn flush_nest(
     Ok(())
 }
 
-fn reads_distributed_array(synth: &Synth, e: &Expr) -> bool {
+// ---------------------------------------------------------------------------
+// Parallel nest synthesis: plan → build standalone → assemble
+// ---------------------------------------------------------------------------
+//
+// The serial `build_items` interleaves item structuring with nest synthesis,
+// assigning communication-event ids from one global counter as it goes. The
+// parallel driver instead (1) *plans* the item skeleton up front (a pure
+// structural pass over the AST — `plan_items` mirrors `build_items`'
+// control flow exactly, flushing pending statements at the same points),
+// (2) builds each extracted nest *standalone* on a worker thread with local
+// event ids counted from 0, and (3) *assembles*: walking the skeleton in
+// order, offsetting each nest's event ids by the running total so the final
+// numbering is identical to what the serial single-counter pass produces.
+// Synthesis statistics are per-nest and additive, so summing them in any
+// order reconciles with the serial accumulation.
+
+/// Skeleton of a unit's item list with nest bodies factored out by index.
+pub(crate) enum ItemSkel {
+    /// A replicated statement.
+    Serial(Stmt),
+    /// A replicated loop over more skeleton items.
+    SerialLoop {
+        /// Loop variable.
+        var: String,
+        /// Lower bound.
+        lo: Expr,
+        /// Upper bound.
+        hi: Expr,
+        /// Body skeleton.
+        body: Vec<ItemSkel>,
+    },
+    /// The `i`-th extracted nest body (index into [`UnitPlan::nests`]).
+    Nest(usize),
+}
+
+/// A planned unit: the item skeleton plus the extracted nest bodies, each
+/// of which can be synthesized independently.
+pub(crate) struct UnitPlan {
+    /// Item structure, with nests by index.
+    pub skel: Vec<ItemSkel>,
+    /// Nest bodies, in serial traversal order.
+    pub nests: Vec<Vec<Stmt>>,
+}
+
+/// Plans a unit's items without doing any set algebra. Mirrors
+/// [`build_items`]' dispatch exactly, so `skel` reproduces the serial item
+/// structure and `nests` lists nest bodies in serial traversal order.
+pub(crate) fn plan_items(
+    analysis: &Analysis,
+    layouts: &BTreeMap<String, Layout>,
+    body: &[Stmt],
+) -> Result<UnitPlan, CompileError> {
+    let mut nests = Vec::new();
+    let skel = plan_body(analysis, layouts, body, &mut nests)?;
+    Ok(UnitPlan { skel, nests })
+}
+
+fn plan_body(
+    analysis: &Analysis,
+    layouts: &BTreeMap<String, Layout>,
+    body: &[Stmt],
+    nests: &mut Vec<Vec<Stmt>>,
+) -> Result<Vec<ItemSkel>, CompileError> {
+    fn flush(pending: &mut Vec<Stmt>, items: &mut Vec<ItemSkel>, nests: &mut Vec<Vec<Stmt>>) {
+        if !pending.is_empty() {
+            items.push(ItemSkel::Nest(nests.len()));
+            nests.push(std::mem::take(pending));
+        }
+    }
+    let mut items = Vec::new();
+    let mut pending: Vec<Stmt> = Vec::new();
+    for s in body {
+        match &s.kind {
+            StmtKind::Read { .. } | StmtKind::Print { .. } => {
+                flush(&mut pending, &mut items, nests);
+                items.push(ItemSkel::Serial(s.clone()));
+            }
+            StmtKind::Call { name, .. } => {
+                return Err(CompileError::Unsupported(format!(
+                    "call to '{name}' (inline subroutines before SPMD synthesis)"
+                )));
+            }
+            StmtKind::Assign { name, rhs, .. } => {
+                if !analysis.is_array(name) && !reads_distributed_array(analysis, layouts, rhs) {
+                    flush(&mut pending, &mut items, nests);
+                    items.push(ItemSkel::Serial(s.clone()));
+                } else {
+                    pending.push(s.clone());
+                }
+            }
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                flush(&mut pending, &mut items, nests);
+                if is_pure_scalar_block(analysis, layouts, then_body)
+                    && is_pure_scalar_block(analysis, layouts, else_body)
+                {
+                    items.push(ItemSkel::Serial(s.clone()));
+                } else {
+                    items.push(ItemSkel::Nest(nests.len()));
+                    nests.push(vec![s.clone()]);
+                }
+            }
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                body: do_body,
+                ..
+            } => {
+                flush(&mut pending, &mut items, nests);
+                if is_serial_loop(analysis, layouts, var, do_body) {
+                    let inner = plan_body(analysis, layouts, do_body, nests)?;
+                    items.push(ItemSkel::SerialLoop {
+                        var: var.clone(),
+                        lo: lo.clone(),
+                        hi: hi.clone(),
+                        body: inner,
+                    });
+                } else {
+                    items.push(ItemSkel::Nest(nests.len()));
+                    nests.push(vec![s.clone()]);
+                }
+            }
+        }
+    }
+    flush(&mut pending, &mut items, nests);
+    Ok(items)
+}
+
+/// Output of one standalone nest synthesis: the nest item with event ids
+/// local to the nest (counted from 0), the events themselves, and the
+/// statistics and phase timings the nest accumulated.
+pub(crate) struct NestOut {
+    /// The synthesized nest.
+    pub item: NestItem,
+    /// The nest's communication events, ids local (0-based).
+    pub events: Vec<CommEvent>,
+    /// Synthesis statistics for this nest alone.
+    pub stats: SpmdStats,
+    /// Phase timings for this nest alone (merge into the unit's timers
+    /// with `PhaseTimers::merge`).
+    pub timers: crate::phases::PhaseTimers,
+}
+
+/// Synthesizes one planned nest in isolation (safe to run on a worker
+/// thread: the layouts' shared `Context` is `Sync`). If `obs` is given,
+/// the nest's phase spans are stitched under the anchor span via
+/// [`dhpf_obs::Collector::begin_child_of`].
+pub(crate) fn build_nest_standalone(
+    analysis: &Analysis,
+    layouts: &BTreeMap<String, Layout>,
+    opts: &SpmdOptions,
+    body: &[Stmt],
+    label: &str,
+    obs: Option<(dhpf_obs::Collector, dhpf_obs::SpanId)>,
+) -> Result<NestOut, CompileError> {
+    let octx = layouts.values().find_map(|l| l.rel.context().cloned());
+    let mut timers = crate::phases::PhaseTimers::new();
+    let wrapper = obs.map(|(c, anchor)| {
+        let id = c.begin_child_of(anchor, label, "phase");
+        timers.attach_collector(c.clone());
+        (c, id)
+    });
+    let item = {
+        let mut synth = Synth {
+            analysis,
+            layouts,
+            opts,
+            events: Vec::new(),
+            stats: SpmdStats::default(),
+            timers: Some(&mut timers),
+            octx,
+        };
+        let item = build_nest(&mut synth, body);
+        let events = synth.events;
+        let stats = synth.stats;
+        item.map(|item| (item, events, stats))
+    };
+    if let Some((c, id)) = wrapper {
+        c.end(id);
+    }
+    timers.finish();
+    let (item, events, stats) = item?;
+    Ok(NestOut {
+        item,
+        events,
+        stats,
+        timers,
+    })
+}
+
+/// Assembles standalone nest outputs back into a unit program with event
+/// numbering identical to the serial pass: each nest's local event ids are
+/// shifted by the number of events in all earlier nests (serial traversal
+/// order), and the `CommSend`/`CommRecv` op references inside the nest are
+/// rewritten to match. Returns the program plus the summed statistics.
+pub(crate) fn assemble_spmd(
+    analysis: &Analysis,
+    layouts: &BTreeMap<String, Layout>,
+    skel: &[ItemSkel],
+    nest_outs: Vec<NestOut>,
+) -> Result<(SpmdProgram, SpmdStats), CompileError> {
+    let mut events: Vec<CommEvent> = Vec::new();
+    let mut stats = SpmdStats::default();
+    let mut items_by_nest: Vec<Option<NestItem>> = Vec::with_capacity(nest_outs.len());
+    for out in nest_outs {
+        let offset = events.len();
+        let mut item = out.item;
+        for op in &mut item.ops {
+            match op {
+                NestOp::CommSend(e) | NestOp::CommRecv(e) => *e += offset,
+                NestOp::Assign(_) => {}
+            }
+        }
+        for mut ev in out.events {
+            ev.id += offset;
+            events.push(ev);
+        }
+        stats.comm_events += out.stats.comm_events;
+        stats.fully_vectorized += out.stats.fully_vectorized;
+        stats.contiguous_events += out.stats.contiguous_events;
+        stats.split_nests += out.stats.split_nests;
+        stats.coalesced_groups += out.stats.coalesced_groups;
+        items_by_nest.push(Some(item));
+    }
+    fn realize(skel: &[ItemSkel], nests: &mut [Option<NestItem>]) -> Vec<SpmdItem> {
+        skel.iter()
+            .map(|s| match s {
+                ItemSkel::Serial(stmt) => SpmdItem::Serial(stmt.clone()),
+                ItemSkel::SerialLoop { var, lo, hi, body } => SpmdItem::SerialLoop {
+                    var: var.clone(),
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                    body: realize(body, nests),
+                },
+                ItemSkel::Nest(i) => {
+                    SpmdItem::Nest(nests[*i].take().expect("each nest realized once"))
+                }
+            })
+            .collect()
+    }
+    let items = realize(skel, &mut items_by_nest);
+    let program = finish_program(analysis, layouts, items, events)?;
+    Ok((program, stats))
+}
+
+fn reads_distributed_array(
+    analysis: &Analysis,
+    layouts: &BTreeMap<String, Layout>,
+    e: &Expr,
+) -> bool {
     match e {
         Expr::Ref(name, args) => {
-            (synth.analysis.is_array(name) && !synth.layouts[name].replicated)
-                || args.iter().any(|a| reads_distributed_array(synth, a))
+            (analysis.is_array(name) && !layouts[name].replicated)
+                || args
+                    .iter()
+                    .any(|a| reads_distributed_array(analysis, layouts, a))
         }
         Expr::Bin(_, a, b) => {
-            reads_distributed_array(synth, a) || reads_distributed_array(synth, b)
+            reads_distributed_array(analysis, layouts, a)
+                || reads_distributed_array(analysis, layouts, b)
         }
-        Expr::Un(_, a) => reads_distributed_array(synth, a),
+        Expr::Un(_, a) => reads_distributed_array(analysis, layouts, a),
         _ => false,
     }
 }
 
-fn is_pure_scalar_block(synth: &Synth, body: &[Stmt]) -> bool {
+fn is_pure_scalar_block(
+    analysis: &Analysis,
+    layouts: &BTreeMap<String, Layout>,
+    body: &[Stmt],
+) -> bool {
     body.iter().all(|s| match &s.kind {
         StmtKind::Assign { name, rhs, .. } => {
-            !synth.analysis.is_array(name) && !reads_distributed_array(synth, rhs)
+            !analysis.is_array(name) && !reads_distributed_array(analysis, layouts, rhs)
         }
         StmtKind::Print { .. } => true,
         StmtKind::If {
             then_body,
             else_body,
             ..
-        } => is_pure_scalar_block(synth, then_body) && is_pure_scalar_block(synth, else_body),
+        } => {
+            is_pure_scalar_block(analysis, layouts, then_body)
+                && is_pure_scalar_block(analysis, layouts, else_body)
+        }
         _ => false,
     })
 }
 
 /// A DO loop is *serial* (replicated, e.g. a time-step or convergence loop)
 /// when its index never appears in a subscript of a distributed array.
-fn is_serial_loop(synth: &Synth, var: &str, body: &[Stmt]) -> bool {
-    !var_in_distributed_subscript(synth, var, body)
+fn is_serial_loop(
+    analysis: &Analysis,
+    layouts: &BTreeMap<String, Layout>,
+    var: &str,
+    body: &[Stmt],
+) -> bool {
+    !var_in_distributed_subscript(analysis, layouts, var, body)
 }
 
-fn var_in_distributed_subscript(synth: &Synth, var: &str, body: &[Stmt]) -> bool {
-    fn expr_has_var_subscript(synth: &Synth, var: &str, e: &Expr) -> bool {
+fn var_in_distributed_subscript(
+    analysis: &Analysis,
+    layouts: &BTreeMap<String, Layout>,
+    var: &str,
+    body: &[Stmt],
+) -> bool {
+    fn expr_has_var_subscript(
+        analysis: &Analysis,
+        layouts: &BTreeMap<String, Layout>,
+        var: &str,
+        e: &Expr,
+    ) -> bool {
         match e {
             Expr::Ref(name, args) => {
-                let in_sub = synth.analysis.is_array(name)
-                    && !synth.layouts[name].replicated
+                let in_sub = analysis.is_array(name)
+                    && !layouts[name].replicated
                     && args.iter().any(|a| mentions_var(a, var));
-                in_sub || args.iter().any(|a| expr_has_var_subscript(synth, var, a))
+                in_sub
+                    || args
+                        .iter()
+                        .any(|a| expr_has_var_subscript(analysis, layouts, var, a))
             }
             Expr::Bin(_, a, b) => {
-                expr_has_var_subscript(synth, var, a) || expr_has_var_subscript(synth, var, b)
+                expr_has_var_subscript(analysis, layouts, var, a)
+                    || expr_has_var_subscript(analysis, layouts, var, b)
             }
-            Expr::Un(_, a) => expr_has_var_subscript(synth, var, a),
+            Expr::Un(_, a) => expr_has_var_subscript(analysis, layouts, var, a),
             _ => false,
         }
     }
@@ -513,19 +810,19 @@ fn var_in_distributed_subscript(synth: &Synth, var: &str, body: &[Stmt]) -> bool
         StmtKind::Assign {
             name, subs, rhs, ..
         } => {
-            let lhs_hit = synth.analysis.is_array(name)
-                && !synth.layouts[name].replicated
+            let lhs_hit = analysis.is_array(name)
+                && !layouts[name].replicated
                 && subs.iter().any(|a| mentions_var(a, var));
-            lhs_hit || expr_has_var_subscript(synth, var, rhs)
+            lhs_hit || expr_has_var_subscript(analysis, layouts, var, rhs)
         }
-        StmtKind::Do { body, .. } => var_in_distributed_subscript(synth, var, body),
+        StmtKind::Do { body, .. } => var_in_distributed_subscript(analysis, layouts, var, body),
         StmtKind::If {
             then_body,
             else_body,
             ..
         } => {
-            var_in_distributed_subscript(synth, var, then_body)
-                || var_in_distributed_subscript(synth, var, else_body)
+            var_in_distributed_subscript(analysis, layouts, var, then_body)
+                || var_in_distributed_subscript(analysis, layouts, var, else_body)
         }
         _ => false,
     })
@@ -816,18 +1113,18 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
     };
     // All statements must share one loop nest and one partition for the
     // sections of Figure 4 to be computed once for the whole group.
-    let shared_partition = || -> Option<Set> {
+    let shared_partition = || -> Result<Option<Set>, CompileError> {
         let s0 = &stmts[groups[0][0]];
         let (cp0, _) = cp_map_at_level(s0, synth.layouts, 0);
         let mine0 = cp0.apply(&myid_set(proc_rank_of(s0, synth.layouts)));
         for &k in &groups[0][1..] {
             let (cp, _) = cp_map_at_level(&stmts[k], synth.layouts, 0);
             let mine = cp.apply(&myid_set(proc_rank_of(&stmts[k], synth.layouts)));
-            if !mine.equal(&mine0) {
-                return None;
+            if !mine.try_equal(&mine0)? {
+                return Ok(None);
             }
         }
-        Some(mine0)
+        Ok(Some(mine0))
     };
     let try_split = synth.opts.loop_splitting
         && groups.len() == 1
@@ -836,7 +1133,7 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
         && stmts.iter().all(|s| s.reduction.is_none())
         && reorder_safe();
 
-    let mine = if try_split { shared_partition() } else { None };
+    let mine = if try_split { shared_partition()? } else { None };
     if let Some(mine) = mine {
         let s0 = &stmts[groups[0][0]];
         let (cp, _) = cp_map_at_level(s0, synth.layouts, 0);

@@ -25,7 +25,16 @@ pub struct ActiveVpSets {
 ///
 /// `reads` and `writes` are the event's references (as in
 /// [`comm_sets`](crate::comm::comm_sets)); `layout` the referenced array's.
-pub fn active_vp_sets(reads: &[CommRef], writes: &[CommRef], layout: &Layout) -> ActiveVpSets {
+///
+/// # Errors
+///
+/// Returns [`dhpf_omega::OmegaError`] when the non-local-data subtraction
+/// hits an exactness limit (inexact negation of an existential system).
+pub fn active_vp_sets(
+    reads: &[CommRef],
+    writes: &[CommRef],
+    layout: &Layout,
+) -> Result<ActiveVpSets, dhpf_omega::OmegaError> {
     let proc_rank = layout.proc_rank();
     // busyVPSet = ∪ Domain(CPMap_r).
     let mut busy = Set::empty(proc_rank);
@@ -35,15 +44,15 @@ pub fn active_vp_sets(reads: &[CommRef], writes: &[CommRef], layout: &Layout) ->
     busy.simplify();
 
     // NLDataAccessed_t = DataAccessed_t - Layout (as a map proc -> data).
-    let nl_map = |refs: &[CommRef]| -> Relation {
+    let nl_map = |refs: &[CommRef]| -> Result<Relation, dhpf_omega::OmegaError> {
         let mut acc = Relation::empty(proc_rank, layout.rel.n_out());
         for r in refs {
             acc = acc.union(&r.cp_map.then(&r.ref_map));
         }
-        acc.subtract(&layout.rel)
+        acc.try_subtract(&layout.rel)
     };
-    let nl_read = nl_map(reads);
-    let nl_write = nl_map(writes);
+    let nl_read = nl_map(reads)?;
+    let nl_write = nl_map(writes)?;
 
     let vps_involved = |nl: &Relation| -> (Set, Set) {
         // allNLDataSet = NLDataAccessed(busyVPSet)
@@ -60,11 +69,11 @@ pub fn active_vp_sets(reads: &[CommRef], writes: &[CommRef], layout: &Layout) ->
     let mut active_recv = access_r.union(&own_w);
     active_send.simplify();
     active_recv.simplify();
-    ActiveVpSets {
+    Ok(ActiveVpSets {
         busy,
         active_send,
         active_recv,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -120,7 +129,7 @@ end
             cp_map: cp.clone(),
             ref_map: pivot_read.ref_map(&stmt.ctx),
         };
-        active_vp_sets(&[rref], &[], &layouts["a"])
+        active_vp_sets(&[rref], &[], &layouts["a"]).unwrap()
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! The parallel driver must be an implementation detail: `threads = N`
+//! must produce bit-identical output to the serial pipeline, merged
+//! reports must reconcile with the serial ones, and the paper-level
+//! pipeline invariants (checked by `dhpf_core::probes`) must keep holding
+//! when the analyses run on a shared sharded `Context` that the parallel
+//! driver is exercising concurrently.
+
+use dhpf_core::probes;
+use dhpf_core::{
+    build_layouts_in, collect_statements, comm_sets, compile, compile_with, cp_map, myid_set,
+    split_sets, CommRef, CompileOptions,
+};
+use dhpf_hpf::{analyze, parse};
+use dhpf_omega::Context;
+
+/// Several independent top-level nests plus a serial time loop with two
+/// nests inside — enough parallel structure for the nest/assembly DAG to
+/// schedule out of order if it is ever going to.
+const MULTI: &str = "
+program multi
+real a(64,64), b(64,64), c(64,64), d(64,64)
+integer iter
+!HPF$ processors p(4)
+!HPF$ template t(64,64)
+!HPF$ align a(i,j) with t(i,j)
+!HPF$ align b(i,j) with t(i,j)
+!HPF$ align c(i,j) with t(i,j)
+!HPF$ align d(i,j) with t(i,j)
+!HPF$ distribute t(block,*) onto p
+do i = 1, 64
+  do j = 1, 64
+    b(i,j) = 0.01 * i + 0.002 * j
+  enddo
+enddo
+do i = 2, 63
+  do j = 2, 63
+    c(i,j) = 0.5 * (b(i-1,j) + b(i+1,j))
+  enddo
+enddo
+do i = 2, 63
+  do j = 2, 63
+    d(i,j) = 0.25 * (c(i-1,j) + c(i+1,j) + c(i,j-1) + c(i,j+1))
+  enddo
+enddo
+do iter = 1, 3
+  do i = 2, 63
+    do j = 2, 63
+      a(i,j) = 0.25 * (b(i-1,j) + b(i+1,j) + b(i,j-1) + b(i,j+1))
+    enddo
+  enddo
+  do i = 2, 63
+    do j = 2, 63
+      b(i,j) = a(i,j) + d(i,j)
+    enddo
+  enddo
+enddo
+end
+";
+
+/// `threads = 1..=8` all produce the serial program, bit for bit
+/// (`Debug` covers every field of the `SpmdProgram`, including
+/// communication event ids, nest ops, and guards).
+#[test]
+fn threads_1_to_8_produce_bit_identical_programs() {
+    let serial = compile(MULTI, &CompileOptions::new()).unwrap();
+    let golden = format!("{:?}", serial.program);
+    assert!(serial.report.stats.comm_events > 1, "needs real comm");
+    for threads in 1..=8 {
+        let par = compile(MULTI, &CompileOptions::new().threads(threads)).unwrap();
+        assert_eq!(
+            golden,
+            format!("{:?}", par.program),
+            "threads = {threads} diverged from the serial pipeline"
+        );
+        assert_eq!(
+            serial.report.stats, par.report.stats,
+            "threads = {threads} changed the synthesis statistics"
+        );
+    }
+}
+
+/// The merged per-worker reports reconcile with the serial ones: every
+/// serial phase row is present (workers re-parent their phases under the
+/// driver's anchor), percentages stay sane, and the merged cache counters
+/// account for real traffic.
+#[test]
+fn merged_reports_reconcile_with_serial() {
+    let serial = compile(MULTI, &CompileOptions::new()).unwrap();
+    let par = compile(MULTI, &CompileOptions::new().threads(4)).unwrap();
+
+    let serial_names: Vec<String> = serial
+        .report
+        .timers
+        .rows()
+        .into_iter()
+        .map(|(n, _, _)| n)
+        .collect();
+    let par_names: Vec<String> = par
+        .report
+        .timers
+        .rows()
+        .into_iter()
+        .map(|(n, _, _)| n)
+        .collect();
+    for name in &serial_names {
+        assert!(
+            par_names.contains(name),
+            "parallel report lost phase row {name:?}"
+        );
+    }
+    // Merged worker rows report aggregate busy time across workers (the
+    // profiler convention of user time vs real time), so a phase that ran
+    // on all 4 workers concurrently may reach 4x the wall-clock total —
+    // but never more.
+    for (name, _, pct) in par.report.timers.rows() {
+        assert!(
+            (0.0..=4.0 * 100.5).contains(&pct),
+            "merged phase {name} has {pct}% of total"
+        );
+    }
+    // Worker phases re-anchor under "module compilation", preserving the
+    // serial nesting (Table 1's indented sub-rows).
+    let nested = par.report.timers.rows_nested();
+    let depth_of = |n: &str| nested.iter().find(|r| r.name == n).map(|r| r.depth);
+    assert_eq!(depth_of("module compilation"), Some(0));
+    let comm = depth_of("communication generation").expect("comm phase present");
+    assert!(comm >= 1, "worker phase not nested under the driver anchor");
+
+    // Merged shard counters saw the compilation's set algebra.
+    let cache = &par.report.cache;
+    assert!(cache.total_hits() + cache.total_misses() > 0);
+    assert!(cache.interned_conjuncts > 0);
+}
+
+/// The paper-level invariants of Figures 3–4 hold when the analysis runs
+/// against a shared `Context` whose shards were concurrently warmed by
+/// parallel compilations (`compile_with` on the same context).
+#[test]
+fn probes_hold_on_context_shared_with_parallel_driver() {
+    let ctx = Context::new();
+    // Warm the sharded context from four worker threads.
+    let warm = compile_with(&ctx, MULTI, &CompileOptions::new().threads(4)).unwrap();
+    assert!(warm.report.cache.total_misses() > 0);
+
+    let (n, p, off) = (12i64, 3i64, 1i64);
+    let src = format!(
+        "
+program probecase
+real a({n}), b({n})
+!HPF$ processors pr({p})
+!HPF$ template t({n})
+!HPF$ align a(i) with t(i)
+!HPF$ align b(i) with t(i)
+!HPF$ distribute t(block) onto pr
+do i = 1, {}
+  a(i) = b(i + {off}) + b(i)
+enddo
+end
+",
+        n - off
+    );
+    let prog = parse(&src).unwrap();
+    let a = analyze(&prog.units[0]).unwrap();
+
+    // Route one pipeline through the warmed shared context and one
+    // through a fresh uncached route; both must satisfy the probes and
+    // agree with each other.
+    let layouts = build_layouts_in(&a, Some(&ctx));
+    let layouts_fresh = build_layouts_in(&a, None);
+    let stmts = collect_statements(&a);
+    let stmt = &stmts[0];
+
+    let cp = cp_map(stmt, &layouts);
+    probes::cp_partition(&cp, &stmt.ctx.iteration_set(), p).unwrap();
+
+    let refs: Vec<CommRef> = stmt
+        .reads
+        .iter()
+        .map(|r| CommRef {
+            cp_map: cp.clone(),
+            ref_map: r.ref_map(&stmt.ctx),
+        })
+        .collect();
+    let sets = comm_sets(&refs, &[], &layouts["b"]).unwrap();
+    let data: Vec<Vec<i64>> = (1..=n).map(|v| vec![v]).collect();
+    probes::comm_duality(&sets, p, &data).unwrap();
+
+    let mine = cp.apply(&myid_set(1));
+    let read_pairs: Vec<_> = refs.iter().map(|r| (r, &layouts["b"])).collect();
+    let wref = CommRef {
+        cp_map: cp.clone(),
+        ref_map: stmt.lhs.as_ref().unwrap().ref_map(&stmt.ctx),
+    };
+    let write_pairs = [(&wref, &layouts["a"])];
+    let splits = split_sets(&mine, &read_pairs, &write_pairs).unwrap();
+    for m in 0..p {
+        probes::split_partition(&splits, &mine, m).unwrap();
+    }
+
+    let cp_f = cp_map(stmt, &layouts_fresh);
+    let refs_f: Vec<CommRef> = stmt
+        .reads
+        .iter()
+        .map(|r| CommRef {
+            cp_map: cp_f.clone(),
+            ref_map: r.ref_map(&stmt.ctx),
+        })
+        .collect();
+    let sets_f = comm_sets(&refs_f, &[], &layouts_fresh["b"]).unwrap();
+    probes::comm_equiv(&sets, &sets_f).unwrap();
+}

@@ -38,22 +38,13 @@ end
 #[test]
 fn traced_compile_is_equivalent() {
     for use_cache in [true, false] {
-        let plain = compile(
-            STENCIL,
-            &CompileOptions {
-                use_cache,
-                ..CompileOptions::default()
-            },
-        )
-        .unwrap();
+        let plain = compile(STENCIL, &CompileOptions::new().cache(use_cache)).unwrap();
         let collector = Collector::new();
         let traced = compile(
             STENCIL,
-            &CompileOptions {
-                use_cache,
-                trace: Some(collector.clone()),
-                ..CompileOptions::default()
-            },
+            &CompileOptions::new()
+                .cache(use_cache)
+                .trace(collector.clone()),
         )
         .unwrap();
         assert_eq!(
@@ -72,14 +63,7 @@ fn traced_compile_is_equivalent() {
 #[test]
 fn trace_reconciles_with_table1_rows() {
     let collector = Collector::new();
-    let compiled = compile(
-        STENCIL,
-        &CompileOptions {
-            trace: Some(collector.clone()),
-            ..CompileOptions::default()
-        },
-    )
-    .unwrap();
+    let compiled = compile(STENCIL, &CompileOptions::new().trace(collector.clone())).unwrap();
     let trace = collector.trace();
     assert!(trace.nodes.iter().all(|n| !n.open), "dangling open span");
 
@@ -128,14 +112,7 @@ fn trace_reconciles_with_table1_rows() {
 #[test]
 fn set_ops_attributed_to_phases() {
     let collector = Collector::new();
-    let _ = compile(
-        STENCIL,
-        &CompileOptions {
-            trace: Some(collector.clone()),
-            ..CompileOptions::default()
-        },
-    )
-    .unwrap();
+    let _ = compile(STENCIL, &CompileOptions::new().trace(collector.clone())).unwrap();
     let trace = collector.trace();
 
     let totals = trace.total_ops();

@@ -150,7 +150,8 @@ fn chrome_trace_inner(trace: &Trace, redact: bool) -> String {
         };
         let _ = write!(
             out,
-            "{{\"ph\":\"X\",\"name\":{name},\"cat\":{cat},\"pid\":1,\"tid\":1,\"ts\":{ts:.3},\"dur\":{dur:.3},\"args\":{{\"id\":{i},\"parent\":{parent},\"self_ns\":{self_ns}",
+            "{{\"ph\":\"X\",\"name\":{name},\"cat\":{cat},\"pid\":1,\"tid\":{tid},\"ts\":{ts:.3},\"dur\":{dur:.3},\"args\":{{\"id\":{i},\"parent\":{parent},\"self_ns\":{self_ns}",
+            tid = n.thread + 1,
             name = json::escape(&n.name),
             cat = json::escape(n.cat),
             parent = n

@@ -52,9 +52,10 @@
 pub mod export;
 pub mod json;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
 use std::time::{Duration, Instant};
 
 /// Number of buckets in a [`Hist`] size histogram.
@@ -143,6 +144,11 @@ pub struct SpanNode {
     pub counters: BTreeMap<String, i64>,
     /// True if the span was still open when snapshotted.
     pub open: bool,
+    /// Dense tag of the thread that opened the span (0 = first thread seen
+    /// by this collector, typically the main thread). Spans nest within
+    /// their own thread's stack; the parallel driver stitches worker spans
+    /// under the compile tree with [`Collector::begin_child_of`].
+    pub thread: u64,
 }
 
 /// A snapshot of a collector's span tree.
@@ -214,8 +220,25 @@ pub struct SpanId(usize);
 #[derive(Default)]
 struct State {
     nodes: Vec<SpanNode>,
-    /// Indices of currently open spans, outermost first.
-    stack: Vec<usize>,
+    /// Per-thread stacks of currently open spans, outermost first. Worker
+    /// threads nest their own spans without interleaving with (or
+    /// corrupting) the main thread's open phases.
+    stacks: HashMap<ThreadId, Vec<usize>>,
+    /// Dense per-collector thread tags, in first-seen order.
+    threads: HashMap<ThreadId, u64>,
+}
+
+impl State {
+    /// The dense tag of `tid`, assigning the next one on first sight.
+    fn thread_tag(&mut self, tid: ThreadId) -> u64 {
+        let next = self.threads.len() as u64;
+        *self.threads.entry(tid).or_insert(next)
+    }
+
+    /// The innermost open span of `tid`'s stack, if any.
+    fn top(&self, tid: ThreadId) -> Option<usize> {
+        self.stacks.get(&tid).and_then(|s| s.last().copied())
+    }
 }
 
 struct Inner {
@@ -239,9 +262,10 @@ impl Default for Collector {
 impl fmt::Debug for Collector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let st = self.inner.state.lock().unwrap();
+        let open: usize = st.stacks.values().map(Vec::len).sum();
         f.debug_struct("Collector")
             .field("spans", &st.nodes.len())
-            .field("open", &st.stack.len())
+            .field("open", &open)
             .finish()
     }
 }
@@ -266,13 +290,35 @@ impl Collector {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
 
-    /// Opens a span as a child of the innermost open span (or as a new
-    /// root). Close it with [`Collector::end`].
+    /// Opens a span as a child of the calling thread's innermost open span
+    /// (or as a new root). Close it with [`Collector::end`]. Each thread
+    /// keeps its own open-span stack, so concurrent producers nest
+    /// independently; a worker's first span is a thread-local root unless
+    /// opened with [`Collector::begin_child_of`].
     pub fn begin(&self, name: &str, cat: &'static str) -> SpanId {
+        self.begin_impl(name, cat, None)
+    }
+
+    /// Opens a span under an explicit `parent` instead of the calling
+    /// thread's innermost open span. The parallel driver uses this to
+    /// stitch worker-thread span trees under the main thread's open
+    /// `"compile"`/phase spans so traced parallel compilations still form
+    /// one tree. The span goes onto the *calling* thread's stack: spans
+    /// the worker opens next nest under it as usual.
+    pub fn begin_child_of(&self, parent: SpanId, name: &str, cat: &'static str) -> SpanId {
+        self.begin_impl(name, cat, Some(parent))
+    }
+
+    fn begin_impl(&self, name: &str, cat: &'static str, parent_override: Option<SpanId>) -> SpanId {
         let now = self.now_ns();
+        let tid = std::thread::current().id();
         let mut st = self.inner.state.lock().unwrap();
+        let thread = st.thread_tag(tid);
         let idx = st.nodes.len();
-        let parent = st.stack.last().copied();
+        let parent = match parent_override {
+            Some(p) => st.nodes.get(p.0).map(|_| p.0),
+            None => st.top(tid),
+        };
         st.nodes.push(SpanNode {
             name: name.to_string(),
             cat,
@@ -283,24 +329,43 @@ impl Collector {
             ops: BTreeMap::new(),
             counters: BTreeMap::new(),
             open: true,
+            thread,
         });
         if let Some(p) = parent {
             st.nodes[p].children.push(idx);
         }
-        st.stack.push(idx);
+        st.stacks.entry(tid).or_default().push(idx);
         SpanId(idx)
     }
 
     /// Closes a span opened with [`Collector::begin`]. Any spans opened
-    /// after it that are still open are closed too (defensive: a missing
-    /// `end` on an inner span cannot corrupt the tree).
+    /// after it *on the same thread* that are still open are closed too
+    /// (defensive: a missing `end` on an inner span cannot corrupt the
+    /// tree). A span may be closed from a different thread than the one
+    /// that opened it (e.g. a guard moved into a worker).
     pub fn end(&self, id: SpanId) {
         let now = self.now_ns();
+        let tid = std::thread::current().id();
         let mut st = self.inner.state.lock().unwrap();
-        let Some(pos) = st.stack.iter().rposition(|&i| i == id.0) else {
-            return; // already closed (or foreign id): ignore
+        // The overwhelmingly common case: the span is on the caller's own
+        // stack. Otherwise scan the other threads' stacks (guard moved).
+        let owner = if st.stacks.get(&tid).is_some_and(|s| s.contains(&id.0)) {
+            tid
+        } else {
+            match st.stacks.iter().find(|(_, s)| s.contains(&id.0)) {
+                Some((&t, _)) => t,
+                None => return, // already closed (or foreign id): ignore
+            }
         };
-        for i in st.stack.split_off(pos) {
+        let closed = {
+            let stack = st.stacks.get_mut(&owner).expect("owner stack exists");
+            let pos = stack
+                .iter()
+                .rposition(|&i| i == id.0)
+                .expect("span on owner stack");
+            stack.split_off(pos)
+        };
+        for i in closed {
             let n = &mut st.nodes[i];
             n.dur_ns = now.saturating_sub(n.start_ns);
             n.open = false;
@@ -324,14 +389,16 @@ impl Collector {
     }
 
     /// Records an already-measured interval as a *closed* child of the
-    /// innermost open span, ending now. Used by producers that time work
-    /// themselves (e.g. `PhaseTimers::add`).
+    /// calling thread's innermost open span, ending now. Used by producers
+    /// that time work themselves (e.g. `PhaseTimers::add`).
     pub fn record_span(&self, name: &str, cat: &'static str, dur: Duration) -> SpanId {
         let now = self.now_ns();
         let dur_ns = dur.as_nanos() as u64;
+        let tid = std::thread::current().id();
         let mut st = self.inner.state.lock().unwrap();
+        let thread = st.thread_tag(tid);
         let idx = st.nodes.len();
-        let parent = st.stack.last().copied();
+        let parent = st.top(tid);
         st.nodes.push(SpanNode {
             name: name.to_string(),
             cat,
@@ -342,6 +409,7 @@ impl Collector {
             ops: BTreeMap::new(),
             counters: BTreeMap::new(),
             open: false,
+            thread,
         });
         if let Some(p) = parent {
             st.nodes[p].children.push(idx);
@@ -353,8 +421,9 @@ impl Collector {
     /// `size`), attributed to the innermost open span. With no open span
     /// the call is attributed to an implicit `"(unattributed)"` root.
     pub fn record_op(&self, op: &'static str, dur: Duration, size: u64) {
+        let tid = std::thread::current().id();
         let mut st = self.inner.state.lock().unwrap();
-        let idx = Self::attribution_target(&mut st);
+        let idx = Self::attribution_target(&mut st, tid);
         let stat = st.nodes[idx].ops.entry(op).or_default();
         stat.calls += 1;
         stat.total_ns += dur.as_nanos() as u64;
@@ -364,8 +433,9 @@ impl Collector {
     /// Adds `delta` to the named counter of the innermost open span (with
     /// the same `"(unattributed)"` fallback as [`Collector::record_op`]).
     pub fn add_counter(&self, name: &str, delta: i64) {
+        let tid = std::thread::current().id();
         let mut st = self.inner.state.lock().unwrap();
-        let idx = Self::attribution_target(&mut st);
+        let idx = Self::attribution_target(&mut st, tid);
         *st.nodes[idx].counters.entry(name.to_string()).or_default() += delta;
     }
 
@@ -377,11 +447,11 @@ impl Collector {
         }
     }
 
-    fn attribution_target(st: &mut State) -> usize {
-        if let Some(&top) = st.stack.last() {
+    fn attribution_target(st: &mut State, tid: ThreadId) -> usize {
+        if let Some(top) = st.top(tid) {
             return top;
         }
-        // No open span: attribute to a shared implicit root.
+        // No open span on this thread: attribute to a shared implicit root.
         if let Some(i) = st
             .nodes
             .iter()
@@ -389,6 +459,7 @@ impl Collector {
         {
             return i;
         }
+        let thread = st.thread_tag(tid);
         let idx = st.nodes.len();
         st.nodes.push(SpanNode {
             name: "(unattributed)".to_string(),
@@ -400,6 +471,7 @@ impl Collector {
             ops: BTreeMap::new(),
             counters: BTreeMap::new(),
             open: false,
+            thread,
         });
         idx
     }
@@ -506,6 +578,50 @@ mod tests {
         let i = t.find("(unattributed)").unwrap();
         assert_eq!(t.nodes[i].ops["gist"].calls, 1);
         assert_eq!(t.nodes[i].counters["messages"], 5);
+    }
+
+    #[test]
+    fn worker_threads_get_independent_stacks() {
+        let c = Collector::new();
+        let a = c.begin("main-root", "phase");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let w = c.begin("worker-root", "phase");
+                c.record_op("gist", Duration::from_nanos(5), 1);
+                c.end(w);
+            });
+        });
+        c.end(a);
+        let t = c.trace();
+        let w = t.find("worker-root").unwrap();
+        // A plain begin() on a worker thread is a thread-local root, not a
+        // child of whatever the main thread happens to have open.
+        assert_eq!(t.nodes[w].parent, None);
+        assert_eq!(t.nodes[w].ops["gist"].calls, 1);
+        assert_ne!(t.nodes[w].thread, t.nodes[0].thread);
+        assert!(t.nodes.iter().all(|n| !n.open));
+    }
+
+    #[test]
+    fn begin_child_of_stitches_worker_spans() {
+        let c = Collector::new();
+        let root = c.begin("compile", "compile");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let w = c.begin_child_of(root, "nest 0", "phase");
+                let inner = c.begin("placement", "phase");
+                c.end(inner);
+                c.end(w);
+            });
+        });
+        c.end(root);
+        let t = c.trace();
+        let w = t.find("nest 0").unwrap();
+        let inner = t.find("placement").unwrap();
+        assert_eq!(t.nodes[w].parent, Some(0));
+        assert_eq!(t.nodes[inner].parent, Some(w));
+        assert_eq!(t.nodes[w].thread, t.nodes[inner].thread);
+        assert_ne!(t.nodes[w].thread, t.nodes[0].thread);
     }
 
     #[test]

@@ -16,6 +16,17 @@
 //! sets, iteration spaces) with [`Relation::with_context`]; every derived
 //! relation inherits the context through the set operations.
 //!
+//! # Concurrency
+//!
+//! The arena is **lock-striped**: interners and memo tables are split
+//! across [`SHARDS`] shards selected by a deterministic structural hash,
+//! so concurrent clients (the parallel driver's worker threads) contend
+//! only when they touch the same shard. No operation ever holds two shard
+//! locks at once, and no shard lock is held across a `compute` closure,
+//! so the locking is deadlock-free by construction. `Context` is
+//! `Send + Sync` (statically asserted below): one long-lived context can
+//! serve a whole thread pool.
+//!
 //! ```
 //! use dhpf_omega::Context;
 //!
@@ -36,20 +47,30 @@ use crate::set::Set;
 use crate::var::Var;
 use crate::OmegaError;
 use dhpf_obs::Collector;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// Maximum entries per memo table before it is flushed (counted as
-/// evictions). Keeps long compilations bounded; one compilation of the
-/// paper's benchmarks stays under this (SP-sym's FME table peaks at
-/// ~150k entries, so the cap must exceed that or the warm cache is
-/// dumped mid-compilation).
+/// Maximum total entries per memo table (summed across shards) before a
+/// shard is flushed (counted as evictions). Keeps long compilations
+/// bounded; one compilation of the paper's benchmarks stays under this
+/// (SP-sym's FME table peaks at ~150k entries, so the cap must exceed
+/// that or the warm cache is dumped mid-compilation).
 const CACHE_CAP: usize = 1 << 19;
 
-/// Interned id of a hash-consed conjunct (or expression).
+/// Number of lock stripes in the arena. A power of two so the shard of an
+/// interned id is `id % SHARDS` (the id encodes its shard in the low bits).
+pub const SHARDS: usize = 16;
+
+/// Per-shard capacity bound for each memo table.
+const SHARD_CAP: usize = CACHE_CAP / SHARDS;
+
+/// Interned id of a hash-consed conjunct (or expression). The low
+/// `log2(SHARDS)` bits identify the owning shard.
 type Id = u32;
 
 /// Hit/miss/eviction counters for one memoized operation.
@@ -127,7 +148,8 @@ impl CacheStats {
     }
 
     /// Accumulates another snapshot into this one (used when a compilation
-    /// aggregates per-unit contexts).
+    /// aggregates per-unit contexts, and by [`Context::stats`] to merge the
+    /// per-shard counters).
     pub fn merge(&mut self, other: &CacheStats) {
         self.sat.add(&other.sat);
         self.eliminate.add(&other.eliminate);
@@ -164,51 +186,54 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// Per-shard hit/miss/eviction counters, one [`OpCounts`] per memoized
+/// operation. Plain integers mutated under the shard lock: cheaper than
+/// shared atomics (no cross-shard cache-line ping-pong) and merged into a
+/// [`CacheStats`] on read.
 #[derive(Default)]
-struct AtomicCounts {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+struct ShardCounts {
+    sat: OpCounts,
+    eliminate: OpCounts,
+    negate: OpCounts,
+    gist: OpCounts,
+    simplify: OpCounts,
 }
 
-impl AtomicCounts {
-    fn hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
-    }
-    fn miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
-    }
-    fn evict(&self, n: u64) {
-        self.evictions.fetch_add(n, Ordering::Relaxed);
-    }
-    fn snapshot(&self) -> OpCounts {
-        OpCounts {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-        }
-    }
-    fn reset(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
-    }
-}
-
-/// The mutable arena: interners plus one memo table per operation.
+/// One lock stripe of the arena: interner slices plus one memo table per
+/// operation. A conjunct's per-conjunct memo entries (sat / eliminate /
+/// negate) live in the same shard as the conjunct itself, so the hot path
+/// interns and probes under a single lock acquisition.
 #[derive(Default)]
-struct Arena {
-    /// Hash-consed conjuncts: structural value → id. The id is the key of
-    /// every per-conjunct memo table, so a conjunct is hashed in full at
-    /// most once per distinct structure.
+struct Shard {
+    /// Hash-consed conjuncts owned by this shard: structural value → id.
+    /// The id is the key of every per-conjunct memo table, so a conjunct
+    /// is hashed in full at most once per distinct structure.
     conjuncts: HashMap<Conjunct, Id>,
     /// Hash-consed linear expressions (used by the builder API).
     exprs: HashMap<LinExpr, Id>,
     sat: HashMap<Id, bool>,
     eliminate: HashMap<(Id, Var), Result<Vec<Conjunct>, OmegaError>>,
     negate: HashMap<Id, Result<Vec<Conjunct>, OmegaError>>,
+    /// Keyed `(a, b)`; stored in the shard of `a`.
     gist: HashMap<(Id, Id), Conjunct>,
+    /// Keyed by the interned conjunct list; stored in the shard selected
+    /// by the hash of that id list.
     simplify: HashMap<Vec<Id>, Vec<Conjunct>>,
+    counts: ShardCounts,
+}
+
+impl Shard {
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            sat: self.counts.sat,
+            eliminate: self.counts.eliminate,
+            negate: self.counts.negate,
+            gist: self.counts.gist,
+            simplify: self.counts.simplify,
+            interned_conjuncts: self.conjuncts.len() as u64,
+            interned_exprs: self.exprs.len() as u64,
+        }
+    }
 }
 
 struct Inner {
@@ -218,19 +243,14 @@ struct Inner {
     traced: AtomicBool,
     /// The attached trace collector (see [`Context::set_collector`]).
     obs: Mutex<Option<Collector>>,
-    arena: Mutex<Arena>,
-    sat: AtomicCounts,
-    eliminate: AtomicCounts,
-    negate: AtomicCounts,
-    gist: AtomicCounts,
-    simplify: AtomicCounts,
+    shards: [Mutex<Shard>; SHARDS],
 }
 
 /// RAII sample of one set operation: on drop, records the call (count,
 /// duration, input-size histogram) on the attached collector's innermost
 /// open span. Declared *first* in each memoized operation so it drops
-/// *last* — after the arena `MutexGuard` — keeping the collector's lock
-/// disjoint from the arena's.
+/// *last* — after any shard `MutexGuard` — keeping the collector's lock
+/// disjoint from the shard locks.
 struct OpTrace {
     obs: Collector,
     op: &'static str,
@@ -249,16 +269,41 @@ fn conjunct_size(c: &Conjunct) -> u64 {
     (c.eqs().len() + c.geqs().len()) as u64
 }
 
+/// Deterministic shard index for a hashable key. `DefaultHasher::new()`
+/// uses fixed keys, so the mapping is stable across runs and threads —
+/// interned ids (and therefore eviction behaviour) never depend on
+/// scheduling.
+fn shard_of<K: Hash>(k: &K) -> usize {
+    let mut h = DefaultHasher::new();
+    k.hash(&mut h);
+    (h.finish() as usize) & (SHARDS - 1)
+}
+
+/// The shard that owns an interned id (the id's low bits).
+fn shard_of_id(id: Id) -> usize {
+    (id as usize) & (SHARDS - 1)
+}
+
 /// A shared hash-consing + memoization context for Omega operations.
 ///
 /// See the [module documentation](self) for the design; in short: create
-/// one per compilation, attach it to root sets/relations, and every
+/// one per compilation (or one long-lived one via
+/// `dhpf_core::compile_with`), attach it to root sets/relations, and every
 /// derived operation reuses previously computed satisfiability tests,
-/// projections, negations, gists and simplifications.
+/// projections, negations, gists and simplifications. The context is
+/// `Send + Sync`: the parallel driver shares one across worker threads.
 #[derive(Clone)]
 pub struct Context {
     inner: Arc<Inner>,
 }
+
+// The whole point of the sharded arena: a Context can be shared across the
+// driver's worker threads. Checked at compile time so a non-Sync field can
+// never sneak in.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Context>();
+};
 
 impl Default for Context {
     fn default() -> Self {
@@ -283,12 +328,7 @@ impl Context {
                 enabled: AtomicBool::new(true),
                 traced: AtomicBool::new(false),
                 obs: Mutex::new(None),
-                arena: Mutex::new(Arena::default()),
-                sat: AtomicCounts::default(),
-                eliminate: AtomicCounts::default(),
-                negate: AtomicCounts::default(),
-                gist: AtomicCounts::default(),
-                simplify: AtomicCounts::default(),
+                shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
             }),
         }
     }
@@ -353,27 +393,23 @@ impl Context {
         })
     }
 
-    /// A snapshot of the cache counters.
+    /// A snapshot of the cache counters: the per-shard counters merged via
+    /// [`CacheStats::merge`]. Shards are locked one at a time, so the
+    /// snapshot is per-shard-consistent (exact once the workers are
+    /// quiesced, which is when the driver reads it).
     pub fn stats(&self) -> CacheStats {
-        let arena = self.inner.arena.lock().unwrap();
-        CacheStats {
-            sat: self.inner.sat.snapshot(),
-            eliminate: self.inner.eliminate.snapshot(),
-            negate: self.inner.negate.snapshot(),
-            gist: self.inner.gist.snapshot(),
-            simplify: self.inner.simplify.snapshot(),
-            interned_conjuncts: arena.conjuncts.len() as u64,
-            interned_exprs: arena.exprs.len() as u64,
+        let mut out = CacheStats::default();
+        for shard in &self.inner.shards {
+            out.merge(&shard.lock().unwrap().stats());
         }
+        out
     }
 
     /// Resets the hit/miss/eviction counters (the interned arena is kept).
     pub fn reset_stats(&self) {
-        self.inner.sat.reset();
-        self.inner.eliminate.reset();
-        self.inner.negate.reset();
-        self.inner.gist.reset();
-        self.inner.simplify.reset();
+        for shard in &self.inner.shards {
+            shard.lock().unwrap().counts = ShardCounts::default();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -449,21 +485,31 @@ impl Context {
     /// differ only in constraint order or repetition share one id.
     pub fn intern_conjunct(&self, c: &Conjunct) -> u32 {
         let cc = c.canonical();
-        let mut arena = self.inner.arena.lock().unwrap();
-        Self::intern_in(&mut arena.conjuncts, &cc)
+        self.intern_canonical(&cc)
+    }
+
+    /// Interns an already-canonical conjunct (locks exactly one shard).
+    fn intern_canonical(&self, cc: &Conjunct) -> Id {
+        let s = shard_of(cc);
+        let mut shard = self.inner.shards[s].lock().unwrap();
+        Self::intern_in(&mut shard.conjuncts, cc, s)
     }
 
     /// Hash-conses a linear expression, returning its interned id.
     pub fn intern_expr(&self, e: &LinExpr) -> u32 {
-        let mut arena = self.inner.arena.lock().unwrap();
-        Self::intern_in(&mut arena.exprs, e)
+        let s = shard_of(e);
+        let mut shard = self.inner.shards[s].lock().unwrap();
+        Self::intern_in(&mut shard.exprs, e, s)
     }
 
-    fn intern_in<K: Clone + Eq + std::hash::Hash>(map: &mut HashMap<K, Id>, k: &K) -> Id {
+    /// Interns `k` into one shard's slice of an interner. The id encodes
+    /// the shard in its low bits (`id = local * SHARDS + shard`), so ids
+    /// are globally unique and `id % SHARDS` recovers the owner.
+    fn intern_in<K: Clone + Eq + Hash>(map: &mut HashMap<K, Id>, k: &K, shard: usize) -> Id {
         if let Some(&id) = map.get(k) {
             return id;
         }
-        let id = map.len() as Id;
+        let id = (map.len() * SHARDS + shard) as Id;
         map.insert(k.clone(), id);
         id
     }
@@ -472,34 +518,38 @@ impl Context {
     // Memoized operations
     // ------------------------------------------------------------------
     //
-    // The lock is never held across `compute`: probe, drop the lock, run
-    // the real computation (which may itself recurse into the cache), then
-    // re-lock to insert. Single-threaded compilations never duplicate
-    // work; concurrent ones at worst compute an entry twice.
+    // Lock discipline: at most one shard lock is held at a time, and no
+    // lock is held across `compute`: intern + probe under the key's shard
+    // lock, drop it, run the real computation (which may itself recurse
+    // into the cache), then re-lock that shard to insert. Single-threaded
+    // compilations never duplicate work; concurrent ones at worst compute
+    // an entry twice.
 
     pub(crate) fn cached_sat(&self, c: &Conjunct, compute: impl FnOnce() -> bool) -> bool {
         let _t = self.op_trace("satisfiability", conjunct_size(c));
         if !self.is_enabled() {
             return compute();
         }
-        let id = {
+        let (s, id) = {
             let cc = c.canonical();
-            let mut arena = self.inner.arena.lock().unwrap();
-            let id = Self::intern_in(&mut arena.conjuncts, &cc);
-            if let Some(&v) = arena.sat.get(&id) {
-                self.inner.sat.hit();
+            let s = shard_of(&cc);
+            let mut shard = self.inner.shards[s].lock().unwrap();
+            let id = Self::intern_in(&mut shard.conjuncts, &cc, s);
+            if let Some(&v) = shard.sat.get(&id) {
+                shard.counts.sat.hits += 1;
                 return v;
             }
-            id
+            shard.counts.sat.misses += 1;
+            (s, id)
         };
-        self.inner.sat.miss();
         let v = compute();
-        let mut arena = self.inner.arena.lock().unwrap();
-        if arena.sat.len() >= CACHE_CAP {
-            self.inner.sat.evict(arena.sat.len() as u64);
-            arena.sat.clear();
+        let mut shard = self.inner.shards[s].lock().unwrap();
+        if shard.sat.len() >= SHARD_CAP {
+            let n = shard.sat.len() as u64;
+            shard.counts.sat.evictions += n;
+            shard.sat.clear();
         }
-        arena.sat.insert(id, v);
+        shard.sat.insert(id, v);
         v
     }
 
@@ -513,24 +563,26 @@ impl Context {
         if !self.is_enabled() {
             return compute();
         }
-        let id = {
+        let (s, id) = {
             let cc = c.canonical();
-            let mut arena = self.inner.arena.lock().unwrap();
-            let id = Self::intern_in(&mut arena.conjuncts, &cc);
-            if let Some(r) = arena.eliminate.get(&(id, v)) {
-                self.inner.eliminate.hit();
-                return r.clone();
+            let s = shard_of(&cc);
+            let mut shard = self.inner.shards[s].lock().unwrap();
+            let id = Self::intern_in(&mut shard.conjuncts, &cc, s);
+            if let Some(r) = shard.eliminate.get(&(id, v)).cloned() {
+                shard.counts.eliminate.hits += 1;
+                return r;
             }
-            id
+            shard.counts.eliminate.misses += 1;
+            (s, id)
         };
-        self.inner.eliminate.miss();
         let r = compute();
-        let mut arena = self.inner.arena.lock().unwrap();
-        if arena.eliminate.len() >= CACHE_CAP {
-            self.inner.eliminate.evict(arena.eliminate.len() as u64);
-            arena.eliminate.clear();
+        let mut shard = self.inner.shards[s].lock().unwrap();
+        if shard.eliminate.len() >= SHARD_CAP {
+            let n = shard.eliminate.len() as u64;
+            shard.counts.eliminate.evictions += n;
+            shard.eliminate.clear();
         }
-        arena.eliminate.insert((id, v), r.clone());
+        shard.eliminate.insert((id, v), r.clone());
         r
     }
 
@@ -543,24 +595,26 @@ impl Context {
         if !self.is_enabled() {
             return compute();
         }
-        let id = {
+        let (s, id) = {
             let cc = c.canonical();
-            let mut arena = self.inner.arena.lock().unwrap();
-            let id = Self::intern_in(&mut arena.conjuncts, &cc);
-            if let Some(r) = arena.negate.get(&id) {
-                self.inner.negate.hit();
-                return r.clone();
+            let s = shard_of(&cc);
+            let mut shard = self.inner.shards[s].lock().unwrap();
+            let id = Self::intern_in(&mut shard.conjuncts, &cc, s);
+            if let Some(r) = shard.negate.get(&id).cloned() {
+                shard.counts.negate.hits += 1;
+                return r;
             }
-            id
+            shard.counts.negate.misses += 1;
+            (s, id)
         };
-        self.inner.negate.miss();
         let r = compute();
-        let mut arena = self.inner.arena.lock().unwrap();
-        if arena.negate.len() >= CACHE_CAP {
-            self.inner.negate.evict(arena.negate.len() as u64);
-            arena.negate.clear();
+        let mut shard = self.inner.shards[s].lock().unwrap();
+        if shard.negate.len() >= SHARD_CAP {
+            let n = shard.negate.len() as u64;
+            shard.counts.negate.evictions += n;
+            shard.negate.clear();
         }
-        arena.negate.insert(id, r.clone());
+        shard.negate.insert(id, r.clone());
         r
     }
 
@@ -574,26 +628,29 @@ impl Context {
         if !self.is_enabled() {
             return compute();
         }
-        let key = {
-            let ca = c.canonical();
-            let cb = given.canonical();
-            let mut arena = self.inner.arena.lock().unwrap();
-            let a = Self::intern_in(&mut arena.conjuncts, &ca);
-            let b = Self::intern_in(&mut arena.conjuncts, &cb);
-            if let Some(r) = arena.gist.get(&(a, b)) {
-                self.inner.gist.hit();
-                return r.clone();
+        // The two operands may live in different shards: intern each under
+        // its own lock (sequentially — never nested), then probe the memo
+        // table in the shard of `a`.
+        let (gs, key) = {
+            let a = self.intern_canonical(&c.canonical());
+            let b = self.intern_canonical(&given.canonical());
+            let gs = shard_of_id(a);
+            let mut shard = self.inner.shards[gs].lock().unwrap();
+            if let Some(r) = shard.gist.get(&(a, b)).cloned() {
+                shard.counts.gist.hits += 1;
+                return r;
             }
-            (a, b)
+            shard.counts.gist.misses += 1;
+            (gs, (a, b))
         };
-        self.inner.gist.miss();
         let r = compute();
-        let mut arena = self.inner.arena.lock().unwrap();
-        if arena.gist.len() >= CACHE_CAP {
-            self.inner.gist.evict(arena.gist.len() as u64);
-            arena.gist.clear();
+        let mut shard = self.inner.shards[gs].lock().unwrap();
+        if shard.gist.len() >= SHARD_CAP {
+            let n = shard.gist.len() as u64;
+            shard.counts.gist.evictions += n;
+            shard.gist.clear();
         }
-        arena.gist.insert(key, r.clone());
+        shard.gist.insert(key, r.clone());
         r
     }
 
@@ -606,26 +663,28 @@ impl Context {
         if !self.is_enabled() {
             return compute();
         }
-        let key = {
-            let mut arena = self.inner.arena.lock().unwrap();
+        let (ss, key) = {
             let key: Vec<Id> = conjuncts
                 .iter()
-                .map(|c| Self::intern_in(&mut arena.conjuncts, &c.canonical()))
+                .map(|c| self.intern_canonical(&c.canonical()))
                 .collect();
-            if let Some(r) = arena.simplify.get(&key) {
-                self.inner.simplify.hit();
-                return r.clone();
+            let ss = shard_of(&key);
+            let mut shard = self.inner.shards[ss].lock().unwrap();
+            if let Some(r) = shard.simplify.get(&key).cloned() {
+                shard.counts.simplify.hits += 1;
+                return r;
             }
-            key
+            shard.counts.simplify.misses += 1;
+            (ss, key)
         };
-        self.inner.simplify.miss();
         let r = compute();
-        let mut arena = self.inner.arena.lock().unwrap();
-        if arena.simplify.len() >= CACHE_CAP {
-            self.inner.simplify.evict(arena.simplify.len() as u64);
-            arena.simplify.clear();
+        let mut shard = self.inner.shards[ss].lock().unwrap();
+        if shard.simplify.len() >= SHARD_CAP {
+            let n = shard.simplify.len() as u64;
+            shard.counts.simplify.evictions += n;
+            shard.simplify.clear();
         }
-        arena.simplify.insert(key, r.clone());
+        shard.simplify.insert(key, r.clone());
         r
     }
 }
@@ -655,6 +714,18 @@ mod tests {
     }
 
     #[test]
+    fn ids_encode_their_shard() {
+        let ctx = Context::new();
+        for i in 0..64 {
+            let mut c = Conjunct::new();
+            c.add_geq(LinExpr::var(Var::In(i)));
+            let id = ctx.intern_conjunct(&c);
+            assert_eq!(shard_of_id(id), shard_of(&c.canonical()));
+        }
+        assert_eq!(ctx.stats().interned_conjuncts, 64);
+    }
+
+    #[test]
     fn sat_cache_hits_on_repeat() {
         let ctx = Context::new();
         let s = ctx.parse_set("{[i] : 1 <= i <= 10}").unwrap();
@@ -677,6 +748,39 @@ mod tests {
         let stats = ctx.stats();
         assert_eq!(stats.total_hits(), 0);
         assert_eq!(stats.total_misses(), 0);
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_arena() {
+        // Hammer one context from several threads; every thread computes
+        // the same results it would alone, and the merged counters add up.
+        let ctx = Context::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let ctx = ctx.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let s = ctx
+                            .parse_set(&format!("{{[i] : {} <= i <= {}}}", t, t + i))
+                            .unwrap();
+                        assert!(!s.is_empty());
+                        let e = ctx
+                            .parse_set(&format!("{{[i] : {} <= i <= {}}}", i + 1, i))
+                            .unwrap();
+                        assert!(e.is_empty());
+                    }
+                });
+            }
+        });
+        let stats = ctx.stats();
+        assert!(stats.total_misses() > 0);
+        assert!(stats.interned_conjuncts > 0);
+        // Re-running the same queries on the quiesced context now hits.
+        let before = ctx.stats();
+        let s = ctx.parse_set("{[i] : 0 <= i <= 0}").unwrap();
+        assert!(!s.is_empty());
+        let after = ctx.stats();
+        assert!(after.total_hits() > before.total_hits());
     }
 
     #[test]

@@ -1187,6 +1187,10 @@ impl FuzzOutcome {
     }
 }
 
+fn stop_early(t0: Instant, budget: Option<Duration>) -> bool {
+    budget.is_some_and(|b| t0.elapsed() >= b)
+}
+
 /// Runs the case derived from one per-case seed, returning its law and
 /// verdict (the replay entry point: a failure report's seed goes here).
 pub fn run_seed(case_seed: u64, cfg: &OracleConfig) -> (Case, Verdict) {
@@ -1206,17 +1210,74 @@ pub fn fuzz(
     cfg: &OracleConfig,
     max_failures: usize,
 ) -> FuzzOutcome {
+    fuzz_threads(seed, iters, time_budget, cfg, max_failures, 1)
+}
+
+/// [`fuzz`] sharded over `threads` worker threads.
+///
+/// The per-case seeds are derived from the master `seed` up front, so the
+/// case at index `i` is identical to the one the serial campaign would run
+/// — each failure's replay seed stays valid. Verdicts are merged back in
+/// seed order, so a full run (no budget/failure-cap early exit) reports
+/// the same counterexamples as `threads = 1`. Under an early exit the
+/// parallel run may have checked a few cases past the cutoff; those extra
+/// verdicts are discarded during the in-order merge.
+pub fn fuzz_threads(
+    seed: u64,
+    iters: u64,
+    time_budget: Option<Duration>,
+    cfg: &OracleConfig,
+    max_failures: usize,
+    threads: usize,
+) -> FuzzOutcome {
     let t0 = Instant::now();
     let mut master = Rng::new(seed);
-    let mut out = FuzzOutcome::default();
-    for _ in 0..iters {
-        if let Some(b) = time_budget {
-            if t0.elapsed() >= b {
-                break;
+    let seeds: Vec<u64> = (0..iters).map(|_| master.next_u64()).collect();
+    let verdicts = if threads <= 1 || seeds.len() <= 1 {
+        seeds
+            .iter()
+            .map(|&s| {
+                if stop_early(t0, time_budget) {
+                    None
+                } else {
+                    Some(run_seed(s, cfg))
+                }
+            })
+            .collect::<Vec<_>>()
+    } else {
+        use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let next = AtomicUsize::new(0);
+        let fails = AtomicU64::new(0);
+        let slots: Vec<Mutex<Option<(Case, Verdict)>>> =
+            seeds.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= seeds.len()
+                        || stop_early(t0, time_budget)
+                        || fails.load(Ordering::Relaxed) >= max_failures as u64
+                    {
+                        break;
+                    }
+                    let (case, verdict) = run_seed(seeds[i], cfg);
+                    if matches!(verdict, Verdict::Fail(_)) {
+                        fails.fetch_add(1, Ordering::Relaxed);
+                    }
+                    *slots[i].lock().expect("oracle slot") = Some((case, verdict));
+                });
             }
-        }
-        let case_seed = master.next_u64();
-        let (case, verdict) = run_seed(case_seed, cfg);
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("oracle slot"))
+            .collect()
+    };
+
+    let mut out = FuzzOutcome::default();
+    for (case_seed, result) in seeds.into_iter().zip(verdicts) {
+        let Some((case, verdict)) = result else { break };
         out.iterations += 1;
         let tally = out.per_law.entry(case.law).or_default();
         tally.runs += 1;

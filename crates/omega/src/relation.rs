@@ -543,21 +543,48 @@ impl Relation {
 
     /// True if `self ⊆ other` for all parameter values.
     ///
+    /// Thin delegate over [`Relation::try_is_subset_of`].
+    ///
     /// # Panics
     ///
     /// Panics under the same conditions as [`Relation::subtract`].
     pub fn is_subset_of(&self, other: &Relation) -> bool {
-        self.subtract(other).is_empty()
+        self.try_is_subset_of(other)
+            .expect("is_subset_of: inexact negation of existential system")
+    }
+
+    /// True if `self ⊆ other` for all parameter values, or an error if the
+    /// difference cannot be formed exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Relation::try_subtract`].
+    pub fn try_is_subset_of(&self, other: &Relation) -> Result<bool, crate::OmegaError> {
+        Ok(self.try_subtract(other)?.is_empty())
     }
 
     /// True if the relations contain exactly the same tuples for all
     /// parameter values.
     ///
+    /// Thin delegate over [`Relation::try_equal`].
+    ///
     /// # Panics
     ///
     /// Panics under the same conditions as [`Relation::subtract`].
     pub fn equal(&self, other: &Relation) -> bool {
-        self.is_subset_of(other) && other.is_subset_of(self)
+        self.try_equal(other)
+            .expect("equal: inexact negation of existential system")
+    }
+
+    /// True if the relations contain exactly the same tuples for all
+    /// parameter values, or an error if a difference cannot be formed
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Relation::try_subtract`].
+    pub fn try_equal(&self, other: &Relation) -> Result<bool, crate::OmegaError> {
+        Ok(self.try_is_subset_of(other)? && other.try_is_subset_of(self)?)
     }
 
     /// Cheap cleanup: normalize conjuncts, drop trivially-false ones.

@@ -133,13 +133,39 @@ impl Set {
     }
 
     /// True if `self ⊆ other` for all parameter values.
+    ///
+    /// # Panics
+    ///
+    /// See [`Relation::is_subset_of`]; prefer [`Set::try_is_subset_of`].
     pub fn is_subset_of(&self, other: &Set) -> bool {
         self.rel.is_subset_of(&other.rel)
     }
 
+    /// Fallible form of [`Set::is_subset_of`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Relation::try_is_subset_of`].
+    pub fn try_is_subset_of(&self, other: &Set) -> Result<bool, OmegaError> {
+        self.rel.try_is_subset_of(&other.rel)
+    }
+
     /// True if the sets are equal for all parameter values.
+    ///
+    /// # Panics
+    ///
+    /// See [`Relation::equal`]; prefer [`Set::try_equal`].
     pub fn equal(&self, other: &Set) -> bool {
         self.rel.equal(&other.rel)
+    }
+
+    /// Fallible form of [`Set::equal`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Relation::try_equal`].
+    pub fn try_equal(&self, other: &Set) -> Result<bool, OmegaError> {
+        self.rel.try_equal(&other.rel)
     }
 
     /// Simplifies the representation in place (see [`Relation::simplify`]).

@@ -45,7 +45,7 @@ fn main() {
         cp_map: cp.clone(),
         ref_map: pivot_read.ref_map(&s.ctx),
     };
-    let sets = active_vp_sets(&[rref], &[], &layouts["a"]);
+    let sets = active_vp_sets(&[rref], &[], &layouts["a"]).expect("exact VP sets");
 
     println!("== Figure 5: active virtual processors for the Gauss loop ==\n");
     println!("busyVPSet       = {}\n", sets.busy);

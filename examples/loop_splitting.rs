@@ -5,7 +5,6 @@
 //!
 //! Run with: `cargo run --example loop_splitting`
 
-use dhpf::core::spmd::SpmdOptions;
 use dhpf::core::{compile, CompileOptions, NestOp, SpmdItem};
 use dhpf::sim::{simulate, MachineModel};
 use dhpf_codegen::emit_fortran;
@@ -31,18 +30,8 @@ end
 ";
 
 fn main() {
-    let with = CompileOptions {
-        spmd: SpmdOptions {
-            loop_splitting: true,
-        },
-        ..CompileOptions::default()
-    };
-    let without = CompileOptions {
-        spmd: SpmdOptions {
-            loop_splitting: false,
-        },
-        ..CompileOptions::default()
-    };
+    let with = CompileOptions::new().loop_splitting(true);
+    let without = CompileOptions::new().loop_splitting(false);
 
     for (label, opts) in [("WITH splitting", &with), ("WITHOUT splitting", &without)] {
         let compiled = compile(SRC, opts).expect("compile");

@@ -1,7 +1,6 @@
 //! Compiler-option behaviour: loop splitting toggles, statistics, and the
 //! pseudo-Fortran emission of compiled programs.
 
-use dhpf::core::spmd::SpmdOptions;
 use dhpf::core::{compile, CompileOptions, NestOp, SpmdItem};
 use dhpf_codegen::emit_fortran;
 
@@ -50,26 +49,8 @@ fn count_kinds(items: &[SpmdItem]) -> (usize, usize, usize) {
 
 #[test]
 fn splitting_toggle_changes_structure_not_comm() {
-    let on = compile(
-        STENCIL,
-        &CompileOptions {
-            spmd: SpmdOptions {
-                loop_splitting: true,
-            },
-            ..CompileOptions::default()
-        },
-    )
-    .unwrap();
-    let off = compile(
-        STENCIL,
-        &CompileOptions {
-            spmd: SpmdOptions {
-                loop_splitting: false,
-            },
-            ..CompileOptions::default()
-        },
-    )
-    .unwrap();
+    let on = compile(STENCIL, &CompileOptions::new().loop_splitting(true)).unwrap();
+    let off = compile(STENCIL, &CompileOptions::new().loop_splitting(false)).unwrap();
     assert_eq!(on.report.stats.split_nests, 1);
     assert_eq!(off.report.stats.split_nests, 0);
     // Same communication events either way.
