@@ -7,10 +7,19 @@
 //! `trace_event` JSON.
 //! Pass `--threads N` to compile on the parallel driver (default 1,
 //! the serial pipeline; output is bit-identical either way).
+//! Pass `--deadline-ms N` to compile under a wall-clock budget: when the
+//! deadline trips, affected nests degrade to conservative (but correct)
+//! communication instead of crashing, and the table gains a "graceful
+//! degradations" section listing what was given up and why.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let use_cache = !args.iter().any(|a| a == "--no-cache");
     let threads = dhpf_bench::threads_from_args(&args);
+    let deadline_ms: Option<u64> = args
+        .iter()
+        .position(|a| a == "--deadline-ms")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--deadline-ms takes milliseconds"));
     let trace = dhpf_bench::traceopt::from_args_env(&args);
     if !use_cache {
         println!("(omega context cache disabled via --no-cache)\n");
@@ -18,9 +27,23 @@ fn main() {
     if threads > 1 {
         println!("(parallel driver: --threads {threads})\n");
     }
-    let table = match &trace {
-        Some(t) => dhpf_bench::table1::run_traced_threads(use_cache, &t.collector, threads),
-        None => dhpf_bench::table1::run_threads(use_cache, threads),
+    if let Some(ms) = deadline_ms {
+        println!("(compile deadline: --deadline-ms {ms})\n");
+    }
+    let table = match (&trace, deadline_ms) {
+        (Some(t), None) => dhpf_bench::table1::run_traced_threads(use_cache, &t.collector, threads),
+        (trace, deadline) => {
+            let mut opts = dhpf_core::CompileOptions::new()
+                .cache(use_cache)
+                .threads(threads);
+            if let Some(ms) = deadline {
+                opts = opts.deadline_ms(ms);
+            }
+            if let Some(t) = trace {
+                opts = opts.trace(t.collector.clone());
+            }
+            dhpf_bench::table1::run_opts(&opts)
+        }
     };
     println!("{table}");
     if let Some(t) = &trace {

@@ -126,11 +126,17 @@ pub fn run_with(use_cache: bool) -> String {
 /// Runs Table 1 on the parallel driver (`--threads N`); `threads = 1` is
 /// the serial pipeline.
 pub fn run_threads(use_cache: bool, threads: usize) -> String {
-    let opts = CompileOptions::new().cache(use_cache).threads(threads);
-    let sp4 = column_opts("SP-4", dhpf_bench_sources_sp(), &opts);
+    run_opts(&CompileOptions::new().cache(use_cache).threads(threads))
+}
+
+/// Runs Table 1 with fully explicit [`CompileOptions`] — e.g. a compile
+/// deadline (`--deadline-ms`), whose trip shows up as degradations in the
+/// rendered stats instead of a crash.
+pub fn run_opts(opts: &CompileOptions) -> String {
+    let sp4 = column_opts("SP-4", dhpf_bench_sources_sp(), opts);
     let spsym_src = crate::sources::sp_symbolic();
-    let spsym = column_opts("SP-sym", &spsym_src, &opts);
-    let tsym = column_opts("T-sym", crate::sources::TOMCATV, &opts);
+    let spsym = column_opts("SP-sym", &spsym_src, opts);
+    let tsym = column_opts("T-sym", crate::sources::TOMCATV, opts);
     render(&[sp4, spsym, tsym])
 }
 
@@ -229,6 +235,30 @@ pub fn render(cols: &[Column]) -> String {
                     100.0 * counts.hits as f64 / total,
                     counts.evictions,
                 ));
+            }
+        }
+    }
+    // Graceful degradations (only under a --deadline-ms style budget or
+    // fault injection; an exact compile prints nothing here).
+    if cols
+        .iter()
+        .any(|c| !c.compiled.report.degradations().is_empty())
+    {
+        out.push('\n');
+        out.push_str("graceful degradations:\n");
+        for c in cols {
+            let ds = c.compiled.report.degradations();
+            if ds.is_empty() {
+                continue;
+            }
+            let tripped = c.compiled.report.governor.tripped.unwrap_or("none");
+            out.push_str(&format!(
+                "  {:<8} {:>3} degradations (budget trip: {tripped})\n",
+                c.name,
+                ds.len()
+            ));
+            for d in ds {
+                out.push_str(&format!("    {d}\n"));
             }
         }
     }

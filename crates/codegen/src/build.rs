@@ -141,48 +141,48 @@ pub fn codegen(
         let ctx = m.space.context().cloned();
         let mut space = m.space.clone();
         space.simplify_deep();
-        // Disjoint disjunctive form: piece_k = conj_k - (conj_0 ∪ ... ∪ conj_{k-1}).
+        // Disjoint disjunctive form. Every multi-piece producer in the set
+        // algebra may return *overlapping* pieces — the conjuncts of the
+        // input set itself, stride-form splitting, and the dark-shadow ∨
+        // splinters of exact elimination — so each candidate stride-form
+        // piece is subtracted against the union of everything emitted
+        // before it. Subtracting a single conjunct yields pairwise-disjoint
+        // pieces (the complement is built prefix-disjoint), which makes the
+        // accumulated list disjoint by induction: the property the shared
+        // loop nest needs to enumerate every tuple exactly once.
         let rel = space.as_relation();
         let params = rel.params().to_vec();
         let conjs = rel.conjuncts().to_vec();
         let mut disjoint: Vec<Conjunct> = Vec::new();
-        for (k, c) in conjs.iter().enumerate() {
-            if k == 0 {
-                disjoint.push(c.clone());
-                continue;
-            }
-            let mut prev = Set::empty(arity);
-            let mut prev_rel = prev.into_relation();
-            prev_rel.set_context(ctx.as_ref());
-            for name in &params {
-                prev_rel.ensure_param(name);
-            }
-            for earlier in &conjs[..k] {
-                prev_rel.add_conjunct(earlier.clone());
-            }
-            prev = Set::from_relation(prev_rel);
-            let mut cur_rel = Set::empty(arity).into_relation();
-            cur_rel.set_context(ctx.as_ref());
-            for name in &params {
-                cur_rel.ensure_param(name);
-            }
-            cur_rel.add_conjunct(c.clone());
-            let diff = Set::from_relation(cur_rel)
-                .try_subtract(&prev)
-                .map_err(|_| CodegenError::Inexact)?;
-            disjoint.extend(diff.as_relation().conjuncts().iter().cloned());
+        let mut emitted = Set::empty(arity).into_relation();
+        emitted.set_context(ctx.as_ref());
+        for name in &params {
+            emitted.ensure_param(name);
         }
-        for c in disjoint {
+        for c in conjs {
             for sf in to_stride_form_in(c, ctx.as_ref()).map_err(|_| CodegenError::Inexact)? {
-                pieces.push(Piece {
-                    stmt: m.stmt,
-                    seq,
-                    conj: sf,
-                    params: params.clone(),
-                    pending: Vec::new(),
-                    ctx: ctx.clone(),
-                });
+                let mut cur = Set::empty(arity).into_relation();
+                cur.set_context(ctx.as_ref());
+                for name in &params {
+                    cur.ensure_param(name);
+                }
+                cur.add_conjunct(sf.clone());
+                let diff = Set::from_relation(cur)
+                    .try_subtract(&Set::from_relation(emitted.clone()))
+                    .map_err(|_| CodegenError::Inexact)?;
+                disjoint.extend(diff.as_relation().conjuncts().iter().cloned());
+                emitted.add_conjunct(sf);
             }
+        }
+        for conj in disjoint {
+            pieces.push(Piece {
+                stmt: m.stmt,
+                seq,
+                conj,
+                params: params.clone(),
+                pending: Vec::new(),
+                ctx: ctx.clone(),
+            });
         }
     }
     // Pre-pass: parameter-only constraints become pending guards.
@@ -355,7 +355,13 @@ fn recovered_bounds(
     for deeper in (d + 1)..arity {
         let mut next = Vec::new();
         for c in work {
-            next.extend(c.eliminate_exact_in(Var::In(deeper), cx));
+            // A failed projection (overflow, budget) means no bound can
+            // be recovered; the caller turns that into `Unbounded`, which
+            // the driver's degradation ladder handles.
+            match c.try_eliminate_exact_in(Var::In(deeper), cx) {
+                Ok(parts) => next.extend(parts),
+                Err(_) => return (None, None),
+            }
         }
         work = next;
     }
@@ -369,8 +375,20 @@ fn recovered_bounds(
             Err(_) => return (None, None),
         }
     }
-    let mut work = normalized;
-    work.retain(|c| c.is_satisfiable_in(cx));
+    let work = normalized;
+    // Pruning must be exact: a conservatively-retained empty piece would
+    // widen the recovered hull bounds into iterations the exact set never
+    // contains (emitted bound code has no inner guard to mask them), and
+    // a conservatively-dropped piece would lose real iterations.
+    let mut pruned = Vec::with_capacity(work.len());
+    for c in work {
+        match c.try_is_satisfiable_in(cx) {
+            Ok(true) => pruned.push(c),
+            Ok(false) => {}
+            Err(_) => return (None, None),
+        }
+    }
+    let work = pruned;
     let v = Var::In(d);
     let mut los: Vec<Expr> = Vec::new();
     let mut his: Vec<Expr> = Vec::new();

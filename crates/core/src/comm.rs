@@ -11,7 +11,7 @@
 
 use crate::cp::myid_set;
 use crate::layout::Layout;
-use dhpf_omega::{OmegaError, Relation, Set};
+use dhpf_omega::{Conjunct, LinExpr, OmegaError, Relation, Set, Var};
 
 /// One reference participating in a communication event: its `CPMap`
 /// (proc → loop) and `RefMap` (loop → data), both at the event's level.
@@ -63,6 +63,9 @@ pub fn comm_sets(
     writes: &[CommRef],
     layout: &Layout,
 ) -> Result<CommSets, OmegaError> {
+    if let Some(cx) = layout.rel.context() {
+        cx.inject_check("comm_sets")?;
+    }
     let proc_rank = layout.proc_rank();
     let mut me = myid_set(proc_rank);
     me.set_context(layout.rel.context());
@@ -121,6 +124,79 @@ pub fn comm_sets(
         send_map,
         recv_map,
     })
+}
+
+/// The complement of [`myid_set`] within the layout's processor domain,
+/// built syntactically — no set subtraction, so it stays constructible
+/// after the compile budget has tripped. The pieces (coordinates agree
+/// below dimension `d`, differ at `d`) are pairwise disjoint, which keeps
+/// the disjoint-form pass in code generation from having to subtract them.
+fn others_set(proc_rank: u32, layout: &Layout) -> Set {
+    let mut rel =
+        Relation::empty(proc_rank, 0).with_in_names((0..proc_rank).map(|d| format!("p{}", d + 1)));
+    rel.set_context(layout.rel.context());
+    let params: Vec<u32> = (0..proc_rank)
+        .map(|d| rel.ensure_param(&format!("m{}", d + 1)))
+        .collect();
+    for d in 0..proc_rank as usize {
+        for side in [-1i64, 1] {
+            let mut c = Conjunct::new();
+            for (e, &m) in params.iter().enumerate().take(d) {
+                c.add_eq(LinExpr::var(Var::In(e as u32)) - LinExpr::var(Var::Param(m)));
+            }
+            // side = -1: p_d <= m_d - 1;  side = +1: p_d >= m_d + 1.
+            let p = LinExpr::var(Var::In(d as u32));
+            let m = LinExpr::var(Var::Param(params[d]));
+            let mut g = if side < 0 { m - p } else { p - m };
+            g.add_constant(-1);
+            c.add_geq(g);
+            rel.add_conjunct(c);
+        }
+    }
+    Set::from_relation(rel).intersection(&layout.rel.domain())
+}
+
+/// A sound, always-available over-approximation of [`comm_sets`]: the full
+/// exchange. Every processor sends its entire owned section of the array
+/// to every other processor and symmetrically receives every other
+/// processor's owned section, making each rank's copy owner-current.
+///
+/// Unlike the exact Figure 3 equations this needs no set difference (the
+/// complement of `myid` is built syntactically), so it cannot fail with an
+/// exactness or budget error — it is the event the driver degrades to when
+/// the exact analysis gives up. `nl_write_data` is empty: the conservative
+/// event only *refreshes* reads from owners; non-local writes degrade at
+/// the nest level, where ownership of the written data is re-established
+/// by replicating the computation.
+pub fn conservative_comm_sets(layout: &Layout) -> CommSets {
+    // Self-contained grace scope: the compositions below go through the
+    // governed memoized operations, and this function is called precisely
+    // when the budget has already tripped.
+    let _grace = dhpf_omega::governor_grace();
+    let proc_rank = layout.proc_rank();
+    let data_rank = layout.rel.n_out();
+    let mut me = myid_set(proc_rank);
+    me.set_context(layout.rel.context());
+    let owned_by_m = layout.rel.apply(&me);
+    let others = others_set(proc_rank, layout);
+
+    // Send: to each partner p != m, everything m owns. Receive: from each
+    // partner p != m, everything p owns (the layout restricted to p) — the
+    // exact dual of the send side, as the rank-expanded message pairing
+    // requires.
+    let mut all = Relation::universe(proc_rank, data_rank)
+        .with_in_names((0..proc_rank).map(|d| format!("p{}", d + 1)));
+    all.set_context(layout.rel.context());
+    let mut send_map = all.restrict_domain(&others).restrict_range(&owned_by_m);
+    let mut recv_map = layout.rel.restrict_domain(&others);
+    send_map.simplify();
+    recv_map.simplify();
+    CommSets {
+        nl_read_data: recv_map.range(),
+        nl_write_data: Set::empty(data_rank),
+        send_map,
+        recv_map,
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +268,53 @@ end
                 );
             }
         }
+    }
+
+    #[test]
+    fn conservative_full_exchange_is_dual_and_owner_current() {
+        let prog = parse(SHIFT).unwrap();
+        let a = analyze(&prog.units[0]).unwrap();
+        let layouts = build_layouts(&a);
+        let sets = conservative_comm_sets(&layouts["b"]);
+        let m0 = [("m1", 0i64)];
+        // m=0 owns b[1..25]: it sends exactly that section to every other
+        // rank in the grid, and never to itself or outside the grid.
+        for q in 1..4i64 {
+            assert!(sets.send_map.contains_pair(&[q], &[1], &m0));
+            assert!(sets.send_map.contains_pair(&[q], &[25], &m0));
+            assert!(!sets.send_map.contains_pair(&[q], &[26], &m0));
+        }
+        assert!(!sets.send_map.contains_pair(&[0], &[1], &m0));
+        assert!(!sets.send_map.contains_pair(&[4], &[1], &m0));
+        // ...and receives each partner's owned section — the exact dual.
+        assert!(sets.recv_map.contains_pair(&[1], &[26], &m0));
+        assert!(sets.recv_map.contains_pair(&[3], &[100], &m0));
+        assert!(!sets.recv_map.contains_pair(&[1], &[51], &m0));
+        assert!(!sets.recv_map.contains_pair(&[0], &[1], &m0));
+        assert!(sets.nl_write_data.is_empty());
+    }
+
+    #[test]
+    fn conservative_sets_survive_a_tripped_budget() {
+        let prog = parse(SHIFT).unwrap();
+        let a = analyze(&prog.units[0]).unwrap();
+        let ctx = dhpf_omega::Context::new();
+        let layouts = crate::layout::build_layouts_in(&a, Some(&ctx));
+        ctx.set_budget(&dhpf_omega::Budget::new().op_fuel(0));
+        // Trip the governor, then demand the fallback: it must still be
+        // exact (grace scope), not merely non-panicking.
+        let probe = ctx.parse_set("{[i] : 1 <= i <= 2}").unwrap();
+        assert!(probe.try_subtract(&probe).is_err());
+        assert!(ctx.budget_tripped());
+        let sets = conservative_comm_sets(&layouts["b"]);
+        // Membership checks go through governed satisfiability, which
+        // degrades to "maybe" while tripped — clear the budget so the
+        // assertions below are exact.
+        ctx.clear_budget();
+        let m0 = [("m1", 0i64)];
+        assert!(sets.send_map.contains_pair(&[1], &[25], &m0));
+        assert!(!sets.send_map.contains_pair(&[1], &[26], &m0));
+        assert!(sets.recv_map.contains_pair(&[3], &[76], &m0));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::spmd::{
 };
 use dhpf_hpf::{analyze, parse, Analysis};
 use dhpf_obs::Collector;
-use dhpf_omega::{CacheStats, Context};
+use dhpf_omega::{Budget, CacheStats, CancelToken, Context, GovernorStats, InjectPlan};
 use std::sync::Mutex;
 
 /// Options controlling compilation.
@@ -50,6 +50,22 @@ pub struct CompileOptions {
     /// synthesize independent loop nests concurrently on a scoped pool.
     /// The compiled program is bit-identical at every thread count.
     pub threads: usize,
+    /// Resource budget for the compilation: wall-clock deadline, Omega-op
+    /// fuel, and set-algebra piece caps. When a deadline or fuel limit
+    /// trips mid-compile, the driver *degrades* per nest (conservative
+    /// communication, replicated nests — see
+    /// [`SpmdStats::degradations`](crate::SpmdStats)) instead of hanging
+    /// or crashing; only constructs with no sound fallback surface
+    /// [`CompileError::Budget`]. The default is unlimited.
+    pub budget: Budget,
+    /// Cooperative cancellation token. Once
+    /// [cancelled](CancelToken::cancel), the compilation aborts at the
+    /// next checkpoint with [`CompileError::Cancelled`] — cancellation is
+    /// never degraded around.
+    pub cancel: Option<CancelToken>,
+    /// Deterministic fault-injection plan (test/chaos harnesses only):
+    /// forces errors, panics, or budget exhaustion at named sites.
+    pub inject: Option<InjectPlan>,
 }
 
 impl Default for CompileOptions {
@@ -59,6 +75,9 @@ impl Default for CompileOptions {
             use_cache: true,
             trace: None,
             threads: 1,
+            budget: Budget::default(),
+            cancel: None,
+            inject: None,
         }
     }
 }
@@ -92,6 +111,38 @@ impl CompileOptions {
         self.spmd.loop_splitting = on;
         self
     }
+
+    /// Sets the full resource [`Budget`].
+    pub fn budget(mut self, b: Budget) -> Self {
+        self.budget = b;
+        self
+    }
+
+    /// Sets a wall-clock deadline in milliseconds (shorthand for
+    /// `budget(Budget::new().deadline_ms(ms))` composed with the current
+    /// budget).
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.budget.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Caps the number of governed Omega operations.
+    pub fn op_fuel(mut self, ops: u64) -> Self {
+        self.budget.op_fuel = Some(ops);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan.
+    pub fn inject(mut self, plan: InjectPlan) -> Self {
+        self.inject = Some(plan);
+        self
+    }
 }
 
 /// The result of compiling an HPF program.
@@ -117,6 +168,23 @@ pub struct CompileReport {
     /// Omega-context cache counters for the whole compilation (all zeros
     /// when [`CompileOptions::use_cache`] is false).
     pub cache: CacheStats,
+    /// Governor counters: ops charged against the budget, ops answered
+    /// conservatively after a trip, and the trip reason (if any). With
+    /// [`compile_with`] these accumulate across calls, like `cache`.
+    pub governor: GovernorStats,
+    /// How many times the armed fault-injection plan fired (0 without a
+    /// plan). `degradations()` is non-empty exactly when injected or
+    /// organic failures forced a fallback.
+    pub injected_faults: u64,
+}
+
+impl CompileReport {
+    /// The graceful degradations taken during synthesis, in serial nest
+    /// order. Empty means every nest compiled exactly; entries describe
+    /// which conservative construct replaced what, and why.
+    pub fn degradations(&self) -> &[crate::spmd::Degradation] {
+        &self.stats.degradations
+    }
 }
 
 /// Compiles HPF source text into an SPMD program.
@@ -159,10 +227,61 @@ pub fn compile_with(
 
 fn compile_impl(ctx: &Context, src: &str, opts: &CompileOptions) -> Result<Compiled, CompileError> {
     ctx.set_collector(opts.trace.clone());
-    let out = compile_inner(ctx, src, opts);
-    // Always detach: with `compile_with` the context outlives this call.
+    // Arm the governor only when the options ask for it, so `compile_with`
+    // callers who armed the shared context themselves are not clobbered.
+    let governed = !opts.budget.is_unlimited() || opts.cancel.is_some() || opts.inject.is_some();
+    if governed {
+        ctx.set_budget(&opts.budget);
+        ctx.set_cancel_token(opts.cancel.clone());
+        ctx.set_inject(opts.inject.clone());
+    }
+    // The isolation boundary: a panic anywhere in the pipeline (organic or
+    // injected) becomes a typed `CompileError::Internal` instead of
+    // unwinding into the caller. Parallel nest tasks are additionally
+    // caught per-task inside `run_dag`, so one bad nest cannot take down
+    // siblings; this outer catch covers the serial path and the
+    // orchestration code itself.
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        compile_inner(ctx, src, opts)
+    }));
+    // Read the governed abort state before disarming (clear_budget resets
+    // it): a failure that unwound while cancellation was requested or the
+    // budget was tripped is downstream of that abort, not an independent
+    // compiler bug. Some infallible set-algebra entry points (`domain`,
+    // `then`, projection) surface a governed abort by panicking — the
+    // contained panic is translated back to its typed error here.
+    let aborted = if governed {
+        if opts
+            .cancel
+            .as_ref()
+            .is_some_and(dhpf_omega::CancelToken::is_cancelled)
+        {
+            Some(CompileError::Cancelled)
+        } else {
+            ctx.governor_stats().tripped.map(CompileError::Budget)
+        }
+    } else {
+        None
+    };
+    // Always disarm/detach: with `compile_with` the context outlives this
+    // call (and `Budget::default()` restores the stock piece caps).
+    if governed {
+        ctx.clear_budget();
+        ctx.set_cancel_token(None);
+        ctx.set_inject(None);
+    }
     ctx.set_collector(None);
-    out
+    match out {
+        Ok(Err(CompileError::Internal(m))) => Err(match aborted {
+            Some(e) => e,
+            None => CompileError::Internal(m),
+        }),
+        Ok(r) => r,
+        Err(payload) => Err(match aborted {
+            Some(e) => e,
+            None => CompileError::Internal(crate::parallel::panic_message(payload)),
+        }),
+    }
 }
 
 fn compile_inner(
@@ -183,6 +302,10 @@ fn compile_inner(
         timers.attach_collector(c.clone());
     }
     let threads = opts.threads.max(1);
+    // Cancellation checkpoints between phases keep aborts prompt even when
+    // the set operations in flight are the infallible ones; the per-nest
+    // checkpoint in synthesis covers the long tail.
+    ctx.check_cancelled()?;
     let prog = timers.time("parsing", |_| parse(src))?;
     if prog.units.is_empty() {
         return Err(CompileError::Unsupported("no program units".to_string()));
@@ -203,6 +326,7 @@ fn compile_inner(
         }
     })?;
     let units = analyses.len();
+    ctx.check_cancelled()?;
     let main_idx = prog.units.iter().position(|u| u.is_program).unwrap_or(0);
     let mut compiled: Option<(SpmdProgram, SpmdStats)> = None;
     timers.time("module compilation", |t| -> Result<(), CompileError> {
@@ -241,9 +365,13 @@ fn compile_inner(
     timers.finish();
     let cache = ctx.stats();
     timers.set_cache_stats(cache.clone());
+    // Read while still armed: `compile_impl` disarms after we return.
+    let governor = ctx.governor_stats();
+    let injected_faults = ctx.inject_fired();
     if let Some((c, id)) = root {
         c.counter_on(id, "units", units as i64);
         c.counter_on(id, "comm events", stats.comm_events as i64);
+        c.counter_on(id, "degradations", stats.degradations.len() as i64);
         c.end(id);
     }
     Ok(Compiled {
@@ -257,6 +385,8 @@ fn compile_inner(
             stats,
             units,
             cache,
+            governor,
+            injected_faults,
         },
     })
 }
@@ -325,7 +455,7 @@ fn compile_units_parallel(
         planned.iter().map(|_| Mutex::new(None)).collect();
     let unit_timers: Vec<Mutex<Vec<PhaseTimers>>> =
         planned.iter().map(|_| Mutex::new(Vec::new())).collect();
-    crate::parallel::run_dag(threads, &deps, |task| {
+    let panics = crate::parallel::run_dag(threads, &deps, |task| {
         if task < n_nests {
             let (unit, nest) = nest_tasks[task];
             let plan = unit_plans[unit].as_ref().expect("nest tasks are planned");
@@ -347,16 +477,26 @@ fn compile_units_parallel(
             let mut worker_timers: Vec<PhaseTimers> = Vec::new();
             for &ti in &unit_nest_tasks[k] {
                 let slot = nest_slots[ti].lock().unwrap().take();
-                match slot.expect("dependency completed before assembly") {
-                    Ok(out) if err.is_none() => {
+                match slot {
+                    Some(Ok(out)) if err.is_none() => {
                         worker_timers.push(out.timers.clone());
                         outs.push(out);
                     }
-                    Ok(_) => {}
+                    Some(Ok(_)) => {}
                     // Lowest nest index wins: the error the serial pass
                     // would have hit first.
-                    Err(e) if err.is_none() => err = Some(e),
-                    Err(_) => {}
+                    Some(Err(e)) if err.is_none() => err = Some(e),
+                    Some(Err(_)) => {}
+                    // The nest task panicked: `run_dag` contained it and
+                    // released us anyway, leaving the slot empty. The
+                    // placeholder is replaced with the captured panic
+                    // message during reconciliation.
+                    None if err.is_none() => {
+                        err = Some(CompileError::Internal(
+                            "nest synthesis panicked".to_string(),
+                        ));
+                    }
+                    None => {}
                 }
             }
             *unit_timers[pi].lock().unwrap() = worker_timers;
@@ -368,16 +508,35 @@ fn compile_units_parallel(
         }
     });
     // Deterministic reconciliation: merge nest timers and pick results in
-    // serial unit order.
+    // serial unit order. Panicking tasks left their slots empty; their
+    // captured messages become typed `Internal` errors here (lowest nest
+    // index wins, matching the serial pass's first-failure semantics).
     for (pi, &k) in planned.iter().enumerate() {
         for wt in unit_timers[pi].lock().unwrap().iter() {
             t.merge(wt);
         }
-        let res = unit_slots[pi]
-            .lock()
-            .unwrap()
-            .take()
-            .expect("unit assembled");
+        let res = unit_slots[pi].lock().unwrap().take();
+        let res = match res {
+            Some(r) => r,
+            // The assembly task itself panicked.
+            None => Err(CompileError::Internal(
+                panics
+                    .get(n_nests + pi)
+                    .and_then(Clone::clone)
+                    .unwrap_or_else(|| "unit assembly panicked".to_string()),
+            )),
+        };
+        // Substitute the precise per-nest panic message for the assembly
+        // task's placeholder.
+        let res = match res {
+            Err(CompileError::Internal(placeholder)) => Err(CompileError::Internal(
+                unit_nest_tasks[k]
+                    .iter()
+                    .find_map(|&ti| panics[ti].clone())
+                    .unwrap_or(placeholder),
+            )),
+            r => r,
+        };
         match res {
             Ok(ps) => {
                 if k == main_idx {

@@ -22,7 +22,7 @@ pub mod split;
 pub mod spmd;
 pub mod vp;
 
-pub use comm::{comm_sets, CommRef, CommSets};
+pub use comm::{comm_sets, conservative_comm_sets, CommRef, CommSets};
 pub use cp::{cp_map, cp_map_at_level, myid_set};
 pub use dependence::{carried_level, carried_level_in, placement_level, placement_level_in};
 pub use driver::{compile, compile_with, CompileOptions, CompileReport, Compiled};
@@ -32,7 +32,7 @@ pub use layout::{build_layouts, build_layouts_in, Layout, ProcCoord};
 pub use phases::{PhaseRow, PhaseTimers};
 pub use split::{split_sets, SplitSets};
 pub use spmd::{
-    build_spmd, CommEvent, CompileError, CompiledStmt, NestItem, NestOp, SpmdItem, SpmdOptions,
-    SpmdProgram,
+    build_spmd, CommEvent, CompileError, CompiledStmt, Degradation, NestItem, NestOp, SpmdItem,
+    SpmdOptions, SpmdProgram, SpmdStats,
 };
 pub use vp::{active_vp_sets, ActiveVpSets};

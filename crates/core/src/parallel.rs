@@ -48,7 +48,19 @@ struct DagState {
     remaining: usize,
 }
 
-/// Executes a dependency DAG of `n` tasks on `threads` scoped workers.
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// Executes a dependency DAG of `n` tasks on `threads` scoped workers,
+/// returning per-task panic messages (`None` = the task body completed).
 ///
 /// `deps[i]` lists the tasks that must complete before task `i` starts.
 /// Ready tasks are dispatched in ascending task id (the queue is kept
@@ -56,13 +68,19 @@ struct DagState {
 /// — the same order a serial loop over a topologically-sorted list would.
 /// Tasks only signal completion; results should be written into
 /// caller-owned per-task slots (e.g. a `Vec<Mutex<Option<T>>>`).
-pub fn run_dag<F>(threads: usize, deps: &[Vec<usize>], f: F)
+///
+/// Task bodies are isolated with `catch_unwind`: a panicking task still
+/// signals completion and releases its dependents (whose result slots
+/// then simply stay empty), so one bad nest can never wedge sibling tasks
+/// on the condvar or abort the process. The caller inspects the returned
+/// messages and turns empty slots into typed errors.
+pub fn run_dag<F>(threads: usize, deps: &[Vec<usize>], f: F) -> Vec<Option<String>>
 where
     F: Fn(usize) + Sync,
 {
     let n = deps.len();
     if n == 0 {
-        return;
+        return Vec::new();
     }
     let mut indegree = vec![0usize; n];
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -82,6 +100,7 @@ where
         remaining: n,
     });
     let wake = Condvar::new();
+    let panics: Vec<Mutex<Option<String>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..threads.max(1).min(n) {
             s.spawn(|| loop {
@@ -97,7 +116,10 @@ where
                         st = wake.wait(st).unwrap();
                     }
                 };
-                f(task);
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(task)));
+                if let Err(payload) = r {
+                    *panics[task].lock().unwrap() = Some(panic_message(payload));
+                }
                 let mut st = state.lock().unwrap();
                 st.remaining -= 1;
                 for &d in &dependents[task] {
@@ -114,6 +136,10 @@ where
     });
     let st = state.into_inner().unwrap();
     assert_eq!(st.remaining, 0, "dependency cycle: tasks left unrunnable");
+    panics
+        .into_iter()
+        .map(|m| m.into_inner().unwrap())
+        .collect()
 }
 
 #[cfg(test)]
@@ -142,15 +168,55 @@ mod tests {
         for threads in [1, 2, 4] {
             let stamp = AtomicU64::new(0);
             let finished: Vec<AtomicU64> = (0..deps.len()).map(|_| AtomicU64::new(0)).collect();
-            run_dag(threads, &deps, |i| {
+            let panics = run_dag(threads, &deps, |i| {
                 let t = stamp.fetch_add(1, Ordering::SeqCst) + 1;
                 finished[i].store(t, Ordering::SeqCst);
             });
+            assert!(panics.iter().all(Option::is_none));
             let at = |i: usize| finished[i].load(Ordering::SeqCst);
             assert!((0..deps.len()).all(|i| at(i) > 0));
             assert!(at(0) < at(1) && at(0) < at(2));
             assert!(at(1) < at(3) && at(2) < at(3));
             assert!(at(4) < at(5));
+        }
+    }
+
+    #[test]
+    fn dag_isolates_panicking_tasks() {
+        // Task 1 panics; its dependent 3 must still run (with task 1's
+        // result slot empty), siblings must be unaffected, and the panic
+        // message must be reported — at every thread count, with no hang.
+        let deps: Vec<Vec<usize>> = vec![vec![], vec![0], vec![0], vec![1, 2], vec![], vec![4]];
+        for threads in [1, 2, 4, 8] {
+            let ran: Vec<AtomicU64> = (0..deps.len()).map(|_| AtomicU64::new(0)).collect();
+            let panics = run_dag(threads, &deps, |i| {
+                ran[i].store(1, Ordering::SeqCst);
+                if i == 1 {
+                    panic!("nest 1 exploded");
+                }
+            });
+            for (i, p) in panics.iter().enumerate() {
+                if i == 1 {
+                    assert_eq!(p.as_deref(), Some("nest 1 exploded"));
+                } else {
+                    assert!(p.is_none(), "task {i} reported {p:?}");
+                }
+            }
+            assert!(
+                (0..deps.len()).all(|i| ran[i].load(Ordering::SeqCst) == 1),
+                "every task ran (threads = {threads})"
+            );
+        }
+    }
+
+    #[test]
+    fn dag_survives_every_task_panicking() {
+        let deps: Vec<Vec<usize>> = (0..8)
+            .map(|i| if i == 0 { vec![] } else { vec![i - 1] })
+            .collect();
+        for threads in [1, 4] {
+            let panics = run_dag(threads, &deps, |i| panic!("boom {i}"));
+            assert!(panics.iter().all(Option::is_some));
         }
     }
 }

@@ -28,6 +28,18 @@ pub enum CompileError {
     /// A set-algebra operation hit an exactness limit (inexact negation,
     /// coefficient overflow, …) while analyzing the program.
     SetAlgebra(dhpf_omega::OmegaError),
+    /// The compile budget (deadline or op fuel) was exhausted and the
+    /// failing construct had no sound conservative fallback. The payload
+    /// names the exhausted resource.
+    Budget(&'static str),
+    /// The compilation was cancelled through its
+    /// [`CancelToken`](dhpf_omega::CancelToken). Cancellation never
+    /// degrades: it is always surfaced as this error.
+    Cancelled,
+    /// A compiler task panicked; the payload is the panic message. The
+    /// panic was contained by the driver's isolation boundary — sibling
+    /// tasks ran to completion and no lock was poisoned.
+    Internal(String),
 }
 
 impl fmt::Display for CompileError {
@@ -37,6 +49,9 @@ impl fmt::Display for CompileError {
             CompileError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
             CompileError::Codegen(e) => write!(f, "code generation failed: {e}"),
             CompileError::SetAlgebra(e) => write!(f, "set algebra failed: {e}"),
+            CompileError::Budget(what) => write!(f, "compile budget exceeded: {what}"),
+            CompileError::Cancelled => write!(f, "compilation cancelled"),
+            CompileError::Internal(m) => write!(f, "internal compiler error: {m}"),
         }
     }
 }
@@ -57,8 +72,23 @@ impl From<dhpf_codegen::CodegenError> for CompileError {
 
 impl From<dhpf_omega::OmegaError> for CompileError {
     fn from(e: dhpf_omega::OmegaError) -> Self {
-        CompileError::SetAlgebra(e)
+        match e {
+            dhpf_omega::OmegaError::Cancelled => CompileError::Cancelled,
+            dhpf_omega::OmegaError::BudgetExceeded(what) => CompileError::Budget(what),
+            e => CompileError::SetAlgebra(e),
+        }
     }
+}
+
+/// True for errors the driver may absorb by falling back to a sound
+/// conservative construct: exactness failures and budget exhaustion.
+/// Cancellation and structural errors (unsupported constructs, panics)
+/// always abort.
+pub(crate) fn degradable(e: &CompileError) -> bool {
+    matches!(
+        e,
+        CompileError::SetAlgebra(_) | CompileError::Budget(_) | CompileError::Codegen(_)
+    )
 }
 
 /// One compiled assignment statement.
@@ -182,6 +212,35 @@ pub struct SpmdProgram {
     pub events: Vec<CommEvent>,
 }
 
+/// One recorded graceful degradation: where the exact analysis gave up,
+/// why, and which sound conservative construct replaced it. Collected in
+/// [`SpmdStats::degradations`] in serial nest order (the parallel driver
+/// reconciles to the same order), so the list is deterministic for a given
+/// program, options, and fault plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Degradation {
+    /// The construct that degraded: `"split"` (Figure-4 loop splitting
+    /// abandoned), `"comm_sets"` (one event fell back to the conservative
+    /// full exchange), or `"nest"` (the whole nest was replicated).
+    pub site: &'static str,
+    /// The affected array, when the degradation is array-scoped.
+    pub array: Option<String>,
+    /// The error that triggered the fallback.
+    pub reason: String,
+    /// What the compiler did instead.
+    pub action: &'static str,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.site)?;
+        if let Some(a) = &self.array {
+            write!(f, "({a})")?;
+        }
+        write!(f, ": {} — {}", self.reason, self.action)
+    }
+}
+
 /// Statistics gathered during synthesis (feeds the Table 1 harness).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SpmdStats {
@@ -195,6 +254,9 @@ pub struct SpmdStats {
     pub split_nests: usize,
     /// Coalesced reference groups (more than one reference per event).
     pub coalesced_groups: usize,
+    /// Graceful degradations taken, in serial nest order. Empty means the
+    /// whole program compiled exactly.
+    pub degradations: Vec<Degradation>,
 }
 
 /// Options for SPMD synthesis.
@@ -241,6 +303,22 @@ impl Synth<'_> {
         }
         out
     }
+
+    /// Records one graceful degradation.
+    fn degrade(
+        &mut self,
+        site: &'static str,
+        array: Option<&str>,
+        reason: &dyn fmt::Display,
+        action: &'static str,
+    ) {
+        self.stats.degradations.push(Degradation {
+            site,
+            array: array.map(str::to_string),
+            reason: reason.to_string(),
+            action,
+        });
+    }
 }
 
 /// Synthesizes the SPMD program for one analyzed unit.
@@ -280,6 +358,14 @@ fn finish_program(
     items: Vec<SpmdItem>,
     events: Vec<CommEvent>,
 ) -> Result<SpmdProgram, CompileError> {
+    // Unit assembly is *structural*: owned-set enumeration per declared
+    // array, grid and input collection — bounded work proportional to the
+    // declarations, with no sound fallback (a program without its
+    // allocation code is not a program). The budget governs analysis and
+    // per-nest synthesis, not this epilogue, so it runs in a governor
+    // grace scope: a tripped budget cannot fail it, and injection skips
+    // it (cancellation stays live).
+    let _grace = dhpf_omega::governor_grace();
     // Processor grid: from the distributed layouts (all share one arrangement).
     let proc_dims = grid_of(analysis, layouts);
     // Arrays.
@@ -690,6 +776,9 @@ pub(crate) fn assemble_spmd(
         stats.contiguous_events += out.stats.contiguous_events;
         stats.split_nests += out.stats.split_nests;
         stats.coalesced_groups += out.stats.coalesced_groups;
+        // Degradations concatenate in serial traversal order, so the list
+        // (and thus the whole stats value) reconciles with the serial pass.
+        stats.degradations.extend(out.stats.degradations);
         items_by_nest.push(Some(item));
     }
     fn realize(skel: &[ItemSkel], nests: &mut [Option<NestItem>]) -> Vec<SpmdItem> {
@@ -832,7 +921,174 @@ fn var_in_distributed_subscript(
 // Nest synthesis
 // ---------------------------------------------------------------------------
 
+/// Synthesizes one nest with the degradation ladder wrapped around the
+/// exact path (the failure model in DESIGN.md §12):
+///
+/// - rung 0 (inside [`build_nest_exact`]): Figure-4 loop splitting fails →
+///   keep the exact events, emit the unsplit schedule;
+/// - rung 1 (inside [`build_nest_exact`]): a level-0 read event's Figure-3
+///   equations fail → substitute the conservative full exchange for that
+///   event only;
+/// - rung 2 (here): anything else degradable fails → roll back whatever
+///   the exact attempt accumulated and rebuild the nest *replicated*, with
+///   conservative pre-refresh events.
+///
+/// Cancellation is checked at entry (nests are the driver's unit of
+/// progress) and is never absorbed by the ladder.
 fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError> {
+    if let Some(cx) = synth.octx.clone() {
+        cx.check_cancelled()?;
+        if let Err(e) = cx.inject_check("nest") {
+            let e = CompileError::from(e);
+            if !degradable(&e) {
+                return Err(e);
+            }
+            synth.degrade(
+                "nest",
+                None,
+                &e,
+                "replicated nest with conservative refresh",
+            );
+            return build_nest_replicated(synth, body);
+        }
+    }
+    let events_mark = synth.events.len();
+    let stats_mark = synth.stats.clone();
+    // Infallible set-algebra entry points (`then`, `domain`, projection)
+    // surface a governed abort by *panicking*; when the budget has
+    // tripped, catch the unwind and degrade like any other budget error.
+    // Panics with an untripped budget are genuine bugs (or injected
+    // panics probing unwind isolation) and are re-raised to the driver's
+    // isolation boundary.
+    let tripped_panic = |synth: &Synth| {
+        synth
+            .octx
+            .as_ref()
+            .and_then(|cx| cx.governor_stats().tripped)
+    };
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        build_nest_exact(synth, body)
+    }));
+    let attempt = match attempt {
+        Ok(r) => r,
+        Err(payload) => match tripped_panic(synth) {
+            Some(what) => Err(CompileError::Budget(what)),
+            None => std::panic::resume_unwind(payload),
+        },
+    };
+    match attempt {
+        Ok(item) => Ok(item),
+        Err(e) if degradable(&e) => {
+            // Roll back everything the failed exact attempt accumulated
+            // (half-built events, stats — including rung-0/1 records of
+            // abandoned work) so the replicated rebuild starts clean.
+            synth.events.truncate(events_mark);
+            synth.stats = stats_mark;
+            synth.degrade(
+                "nest",
+                None,
+                &e,
+                "replicated nest with conservative refresh",
+            );
+            build_nest_replicated(synth, body)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// The rung-2 fallback: the whole nest is *replicated*. Every distributed
+/// array the nest references is first refreshed with a conservative full
+/// exchange (each rank receives every other rank's owned section, making
+/// all copies owner-current); then every rank executes the full iteration
+/// set with no partitioning, in original statement order. Reductions are
+/// dropped from the item: each rank computes the complete value locally,
+/// so combining partials would over-count. After the nest every rank's
+/// copy of each written array is identical and owner-current, so later
+/// exact nests — and the simulator's owned-region result gathering — stay
+/// correct.
+fn build_nest_replicated(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError> {
+    // The rebuild runs in a governor grace scope: it executes precisely
+    // when the budget has tripped or a fault fired, and its own (cheap,
+    // bounded) set algebra and codegen must not re-fail. Cancellation
+    // stays live inside the scope.
+    let _grace = dhpf_omega::governor_grace();
+    let stmts = collect_in(synth.analysis, body);
+    if stmts.is_empty() {
+        return Ok(NestItem {
+            code: Code::empty(),
+            ops: Vec::new(),
+            reductions: Vec::new(),
+            split: false,
+        });
+    }
+    // Refresh every distributed array the nest references, in sorted
+    // order for determinism.
+    let mut arrays: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for s in &stmts {
+        for r in &s.reads {
+            if synth.layouts.get(&r.array).is_some_and(|l| !l.replicated) {
+                arrays.insert(&r.array);
+            }
+        }
+        if let Some(l) = &s.lhs {
+            if synth.layouts.get(&l.array).is_some_and(|ly| !ly.replicated) {
+                arrays.insert(&l.array);
+            }
+        }
+    }
+    let mut ops: Vec<NestOp> = Vec::new();
+    let mut chunks: Vec<Code> = Vec::new();
+    for array in arrays {
+        let array = array.to_string();
+        let sets = crate::comm::conservative_comm_sets(&synth.layouts[&array]);
+        if sets.recv_map.is_empty() {
+            continue; // single-rank grid: nothing to refresh
+        }
+        let id = push_event(synth, &array, &sets.send_map, &sets.recv_map, 0)?;
+        let op = ops.len();
+        ops.push(NestOp::CommSend(id));
+        chunks.push(Code::Stmt(StmtId(op)));
+        let op = ops.len();
+        ops.push(NestOp::CommRecv(id));
+        chunks.push(Code::Stmt(StmtId(op)));
+    }
+    // Full-iteration code, group by group, mirroring the exact path's
+    // grouping so statement order is preserved.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (k, s) in stmts.iter().enumerate() {
+        match groups.last_mut() {
+            Some(g) if stmts[g[0]].ctx.vars == s.ctx.vars => g.push(k),
+            _ => groups.push(vec![k]),
+        }
+    }
+    for g in &groups {
+        let names: Vec<&str> = stmts[g[0]].ctx.vars.iter().map(String::as_str).collect();
+        let mut mappings = Vec::new();
+        for &k in g {
+            let s = &stmts[k];
+            let mut space = s.ctx.iteration_set();
+            space.set_context(synth.octx.as_ref());
+            let op = ops.len();
+            ops.push(NestOp::Assign(compile_stmt(s)));
+            mappings.push(Mapping {
+                stmt: StmtId(op),
+                space,
+            });
+        }
+        let code = synth.time("mult mappings code generation", |_| {
+            codegen(&mappings, &names, &CodegenOptions::default())
+        })?;
+        chunks.push(code);
+    }
+    Ok(NestItem {
+        code: Code::Seq(chunks),
+        ops,
+        reductions: Vec::new(),
+        split: false,
+    })
+}
+
+fn build_nest_exact(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError> {
     let stmts = collect_in(synth.analysis, body);
     if stmts.is_empty() {
         return Ok(NestItem {
@@ -965,13 +1221,38 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
     for ((key_arr, _, _), plan) in plan_list {
         let is_write = key_arr.ends_with("!w");
         let layout = &synth.layouts[&plan.array];
-        let sets = synth.time("communication generation", |_| {
+        let sets = match synth.time("communication generation", |_| {
             if is_write {
                 comm_sets(&[], &plan.refs, layout)
             } else {
                 comm_sets(&plan.refs, &[], layout)
             }
-        })?;
+        }) {
+            Ok(sets) => sets,
+            // Rung 1: a level-0 read exchange has a sound in-place
+            // fallback — the conservative full exchange delivers a
+            // superset of the data the exact event would have moved,
+            // before the nest runs. Non-local writes and pipelined
+            // placements have no such event-local fallback (a full
+            // exchange would push stale copies over owner data or break
+            // the send/recv pairing inside the loop), so they escalate
+            // to the nest-level rung in `build_nest`. Cancellation is
+            // never absorbed.
+            Err(e)
+                if !is_write
+                    && plan.level == 0
+                    && !matches!(e, dhpf_omega::OmegaError::Cancelled) =>
+            {
+                synth.degrade(
+                    "comm_sets",
+                    Some(&plan.array),
+                    &e,
+                    "conservative full exchange",
+                );
+                crate::comm::conservative_comm_sets(layout)
+            }
+            Err(e) => return Err(e.into()),
+        };
         // An event is needed only if some processor touches *non-local*
         // data. With the virtual-processor layouts the send-side maps can
         // be spuriously non-empty (fictitious VPs overlap every real one),
@@ -1133,8 +1414,22 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
         && stmts.iter().all(|s| s.reduction.is_none())
         && reorder_safe();
 
-    let mine = if try_split { shared_partition()? } else { None };
-    if let Some(mine) = mine {
+    // Rung 0: a degradable failure anywhere in the Figure-4 analysis
+    // abandons splitting for this nest (the exact events stay; only the
+    // schedule overlap is lost) instead of failing the nest.
+    let mine = if try_split {
+        match shared_partition() {
+            Ok(m) => m,
+            Err(e) if degradable(&e) => {
+                synth.degrade("split", None, &e, "unsplit schedule");
+                None
+            }
+            Err(e) => return Err(e),
+        }
+    } else {
+        None
+    };
+    let sections = if let Some(mine) = &mine {
         let s0 = &stmts[groups[0][0]];
         let (cp, _) = cp_map_at_level(s0, synth.layouts, 0);
         // Sections intersected across every statement's references.
@@ -1157,7 +1452,23 @@ fn build_nest(synth: &mut Synth, body: &[Stmt]) -> Result<NestItem, CompileError
             })
             .collect();
         let read_pairs: Vec<(&CommRef, &Layout)> = reads_l.iter().map(|(c, l)| (c, *l)).collect();
-        let sections = synth.time("loop splitting", |_| split_sets(&mine, &read_pairs, &[]))?;
+        match synth.time("loop splitting", |_| split_sets(mine, &read_pairs, &[])) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                let e = CompileError::from(e);
+                if degradable(&e) {
+                    synth.degrade("split", None, &e, "unsplit schedule");
+                    None
+                } else {
+                    return Err(e);
+                }
+            }
+        }
+    } else {
+        None
+    };
+    if let Some(sections) = sections {
+        let s0 = &stmts[groups[0][0]];
         // SEND; compute local; RECV; compute non-local (Figure 4(b) without
         // non-local writes).
         let names: Vec<&str> = s0.ctx.vars.iter().map(String::as_str).collect();

@@ -1,0 +1,549 @@
+//! Chaos suite: the compile pipeline under deterministic fault injection.
+//!
+//! Every run in the matrix — programs x thread counts x fault actions x
+//! injection densities — must land in exactly one arm of the trichotomy:
+//!
+//! 1. **exact**: `Ok` with no degradations (the plan happened not to fire
+//!    on anything load-bearing),
+//! 2. **degraded but correct**: `Ok` with degradations recorded, and the
+//!    program still computes the exact numbers on the simulator,
+//! 3. **typed error**: a `CompileError` variant naming what went wrong.
+//!
+//! Never a hang (the test harness would time out), never an unwound panic
+//! (the `compile` call would abort the test process), never a poisoned
+//! lock wedging sibling threads. The injection decision is a pure function
+//! of `(seed, site, arrival count)`, so failures replay from their seed.
+
+use dhpf_core::{compile, CompileError, CompileOptions, Compiled};
+use dhpf_omega::{Budget, CancelToken, FaultAction, InjectPlan};
+use dhpf_sim::{simulate, MachineModel, SimResult};
+use std::collections::HashMap;
+
+const JACOBI: &str = include_str!("../../../benchmarks/jacobi.hpf");
+const ERLEBACHER: &str = include_str!("../../../benchmarks/erlebacher.hpf");
+
+fn jacobi_small() -> String {
+    JACOBI.replace("parameter (n = 128)", "parameter (n = 16)")
+}
+
+fn erlebacher_small() -> String {
+    ERLEBACHER.replace("parameter (n = 32, nz = 32)", "parameter (n = 8, nz = 8)")
+}
+
+fn simulate_small(name: &str, c: &Compiled) -> SimResult {
+    let (grid, inputs): (Vec<i64>, Vec<(&str, i64)>) = match name {
+        "JACOBI" => (vec![2, 2], vec![("niter", 1)]),
+        _ => (vec![4], vec![]),
+    };
+    let inputs: HashMap<String, i64> = inputs.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+    simulate(c, &grid, &inputs, &MachineModel::sp2())
+        .unwrap_or_else(|e| panic!("{name}: degraded program failed to simulate: {e}"))
+}
+
+fn same_numbers(name: &str, tag: &str, a: &SimResult, b: &SimResult) {
+    assert_eq!(a.ints, b.ints, "{name} [{tag}]: integer scalars diverged");
+    for (k, v) in &a.floats {
+        let d = b.floats.get(k).copied().unwrap_or(f64::NAN);
+        assert!(
+            v.to_bits() == d.to_bits(),
+            "{name} [{tag}]: scalar {k}: {v:e} vs {d:e}"
+        );
+    }
+    for (arr, x) in &a.arrays {
+        let y = &b.arrays[arr];
+        assert_eq!(x.dims, y.dims, "{name} [{tag}]: {arr} shape");
+        assert!(
+            x.data
+                .iter()
+                .zip(&y.data)
+                .all(|(p, q)| p.to_bits() == q.to_bits()),
+            "{name} [{tag}]: array {arr} diverged"
+        );
+    }
+}
+
+/// One chaos run. Returns which trichotomy arm it landed in (for the
+/// coverage assertion) after validating that arm's invariants.
+#[allow(clippy::too_many_arguments)]
+fn run_one(
+    name: &str,
+    src: &str,
+    baseline: &SimResult,
+    threads: usize,
+    action: FaultAction,
+    seed: u64,
+    period: u64,
+    site: Option<&'static str>,
+) -> &'static str {
+    let mut plan = InjectPlan::new(seed, period, action);
+    if let Some(site) = site {
+        plan = plan.at_site(site);
+    }
+    let opts = CompileOptions::new().threads(threads).inject(plan);
+    let tag =
+        format!("{name} threads={threads} {action:?} seed={seed} period={period} site={site:?}");
+    match compile(src, &opts) {
+        Ok(c) => {
+            if c.report.degradations().is_empty() {
+                // Exact result: the program is byte-identical in behavior,
+                // so the simulator must reproduce the baseline.
+                same_numbers(
+                    name,
+                    &format!("{tag} exact"),
+                    baseline,
+                    &simulate_small(name, &c),
+                );
+                "exact"
+            } else {
+                assert!(
+                    c.report.injected_faults > 0 || c.report.governor.tripped.is_some(),
+                    "{tag}: degraded with no recorded cause"
+                );
+                same_numbers(
+                    name,
+                    &format!("{tag} degraded"),
+                    baseline,
+                    &simulate_small(name, &c),
+                );
+                "degraded"
+            }
+        }
+        Err(e) => {
+            // Every error is a typed variant with a Display message.
+            assert!(!e.to_string().is_empty(), "{tag}: empty error message");
+            "error"
+        }
+    }
+}
+
+/// Enumerates the per-rank, per-event, per-partner comm tuples of a
+/// compiled program directly from its send/recv code — mirroring the
+/// simulator's walker (virtual-processor loop stepping included) but with
+/// no threads and no channels, so a corrupt plan can't hang the test.
+/// Only level-0 events are covered (inner-level events see loop-dependent
+/// environments).
+/// One rank's communication plan: `(event index, is_send, partner rank)`
+/// mapped to the data tuples moved, in enumeration order.
+type RankPlan = HashMap<(usize, bool, usize), Vec<Vec<i64>>>;
+
+fn comm_plans(c: &Compiled, counts: &[i64], inputs: &HashMap<String, i64>) -> Vec<RankPlan> {
+    use dhpf_codegen::{Code, Env};
+    use dhpf_core::ProcCoord;
+
+    let nranks: usize = counts.iter().product::<i64>() as usize;
+    let mut out = Vec::with_capacity(nranks);
+    for rank in 0..nranks {
+        let mut env: Env = inputs.clone();
+        for (name, s) in &c.analysis.scalars {
+            if let dhpf_hpf::ScalarKind::Constant(v) = s.kind {
+                env.insert(name.clone(), v);
+            }
+        }
+        env.insert("number_of_processors".into(), nranks as i64);
+        let mut rem = rank as i64;
+        let mut coords = vec![0i64; counts.len()];
+        for d in (0..counts.len()).rev() {
+            coords[d] = rem % counts[d];
+            rem /= counts[d];
+        }
+        for (d, spec) in c.program.proc_dims.iter().enumerate() {
+            env.insert(format!("np{}", d + 1), counts[d]);
+            match &spec.coord {
+                ProcCoord::Physical { .. } => {
+                    env.insert(format!("m{}", d + 1), coords[d]);
+                }
+                ProcCoord::BlockVp { bsize, nproc } => {
+                    let ext = spec.extent.as_ref().expect("extent");
+                    let n = ext.terms.iter().map(|(k, c)| env[k] * c).sum::<i64>() + ext.constant;
+                    let bs = (n + counts[d] - 1) / counts[d];
+                    env.insert(bsize.clone(), bs);
+                    env.insert(nproc.clone(), counts[d]);
+                    env.insert(format!("m{}", d + 1), bs * coords[d] + 1);
+                }
+                _ => unimplemented!("cyclic grids not used in chaos programs"),
+            }
+        }
+        #[allow(clippy::too_many_arguments)]
+        fn walk(
+            code: &Code,
+            c: &Compiled,
+            counts: &[i64],
+            env: &mut Env,
+            proc_rank: u32,
+            data_rank: u32,
+            leaves: &mut Vec<(usize, Vec<i64>)>,
+        ) {
+            match code {
+                Code::Seq(cs) => {
+                    for k in cs {
+                        walk(k, c, counts, env, proc_rank, data_rank, leaves);
+                    }
+                }
+                Code::If { cond, body } => {
+                    if cond.eval(env).expect("eval cond") {
+                        walk(body, c, counts, env, proc_rank, data_rank, leaves);
+                    }
+                }
+                Code::Loop {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                } => {
+                    let mut lo = lo.eval(env).expect("eval lo");
+                    let hi = hi.eval(env).expect("eval hi");
+                    let mut step = *step;
+                    if let Some(d) = var.strip_prefix('q').and_then(|s| s.parse::<usize>().ok()) {
+                        if let Some(dhpf_core::ProcCoord::BlockVp { bsize, .. }) =
+                            c.program.proc_dims.get(d - 1).map(|s| &s.coord)
+                        {
+                            let bs = env[bsize.as_str()];
+                            if step == 1 && bs > 1 {
+                                lo += (1 - lo).rem_euclid(bs);
+                                step = bs;
+                            }
+                        }
+                    }
+                    let saved = env.get(var).copied();
+                    let mut x = lo;
+                    while x <= hi {
+                        env.insert(var.clone(), x);
+                        walk(body, c, counts, env, proc_rank, data_rank, leaves);
+                        x += step;
+                    }
+                    match saved {
+                        Some(v) => env.insert(var.clone(), v),
+                        None => env.remove(var),
+                    };
+                }
+                Code::Stmt(_) => {
+                    let mut partner = 0i64;
+                    for d in 0..proc_rank as usize {
+                        let q = env[&format!("q{}", d + 1)];
+                        let coord = match &c.program.proc_dims[d].coord {
+                            dhpf_core::ProcCoord::Physical { .. } => q,
+                            dhpf_core::ProcCoord::BlockVp { bsize, .. } => {
+                                let bs = env[bsize.as_str()];
+                                if (q - 1).rem_euclid(bs) != 0 {
+                                    return;
+                                }
+                                (q - 1) / bs
+                            }
+                            _ => unreachable!(),
+                        };
+                        if coord < 0 || coord >= counts[d] {
+                            return;
+                        }
+                        partner = partner * counts[d] + coord;
+                    }
+                    let idx: Vec<i64> = (0..data_rank as usize)
+                        .map(|d| env[&format!("d{}", d + 1)])
+                        .collect();
+                    leaves.push((partner as usize, idx));
+                }
+                Code::Comment(_) => {}
+            }
+        }
+        let mut plans: HashMap<(usize, bool, usize), Vec<Vec<i64>>> = HashMap::new();
+        for ev in &c.program.events {
+            if ev.level != 0 {
+                continue;
+            }
+            for (is_send, code) in [(true, &ev.send_code), (false, &ev.recv_code)] {
+                let mut leaves = Vec::new();
+                walk(
+                    code,
+                    c,
+                    counts,
+                    &mut env,
+                    ev.proc_rank,
+                    ev.data_rank,
+                    &mut leaves,
+                );
+                for (p, idx) in leaves {
+                    plans.entry((ev.id, is_send, p)).or_default().push(idx);
+                }
+            }
+        }
+        out.push(plans);
+    }
+    out
+}
+
+/// Asserts the send/recv duality the simulator's pairing depends on: for
+/// every (event, src rank A, dst rank B), A's send tuples to B must equal
+/// B's recv tuples from A — same tuples, same order. Returns a description
+/// of the first violation instead of panicking so callers can attach
+/// context.
+fn pairing_violation(plans: &[RankPlan], events: usize) -> Option<String> {
+    let nranks = plans.len();
+    for ev in 0..events {
+        for a in 0..nranks {
+            for b in 0..nranks {
+                if a == b {
+                    continue;
+                }
+                let empty: Vec<Vec<i64>> = Vec::new();
+                let send = plans[a].get(&(ev, true, b)).unwrap_or(&empty);
+                let recv = plans[b].get(&(ev, false, a)).unwrap_or(&empty);
+                if send != recv {
+                    return Some(format!(
+                        "event {ev}: rank {a} sends {} tuples to rank {b}, \
+                         rank {b} expects {} from rank {a}\n  send: {send:?}\n  recv: {recv:?}",
+                        send.len(),
+                        recv.len()
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Regression test for a silent-corruption bug the chaos harness found:
+/// injected per-operation faults left communication maps unsimplified
+/// (overlapping conjuncts), and code generation's disjoint-form pass
+/// trusted set-difference pieces to be pairwise disjoint when the
+/// complement construction actually returned overlapping pieces. The
+/// generated send code then enumerated boundary tuples twice while the
+/// receiver expected them once — a message-length mismatch that deadlocked
+/// the simulator, with zero degradations recorded. Racy thread
+/// interleavings reassign which operation each fault arrival hits, so the
+/// loop resamples the same plan many times to cover many interleavings.
+#[test]
+fn injected_faults_never_corrupt_comm_pairing() {
+    let src = jacobi_small();
+    let inputs: HashMap<String, i64> = [("niter".to_string(), 1)].into();
+    let clean = compile(&src, &CompileOptions::new()).expect("clean");
+    let clean_plans = comm_plans(&clean, &[2, 2], &inputs);
+    assert!(
+        pairing_violation(&clean_plans, clean.program.events.len()).is_none(),
+        "clean program violates pairing"
+    );
+    for round in 0..40 {
+        let plan = InjectPlan::new(202, 251, FaultAction::Error);
+        let opts = CompileOptions::new().threads(2).inject(plan);
+        let c = match compile(&src, &opts) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let degr = c.report.degradations();
+        let plans = comm_plans(&c, &[2, 2], &inputs);
+        if let Some(v) = pairing_violation(&plans, c.program.events.len()) {
+            panic!("round {round} (degradations = {degr:?}): pairing violation:\n{v}");
+        }
+        // An exact compile must also communicate identically to the clean
+        // one: same partners, same tuples, same order.
+        assert!(
+            !degr.is_empty() || plans == clean_plans,
+            "round {round}: exact compile with a comm plan that differs from the clean compile"
+        );
+    }
+}
+
+#[test]
+fn trichotomy_matrix() {
+    let programs = [
+        ("JACOBI", jacobi_small()),
+        ("ERLEBACHER", erlebacher_small()),
+    ];
+    let actions = [
+        FaultAction::Error,
+        FaultAction::Panic,
+        FaultAction::ExhaustBudget,
+    ];
+    for (name, src) in &programs {
+        let exact = compile(src, &CompileOptions::new()).expect(name);
+        let baseline = simulate_small(name, &exact);
+        let mut arms: Vec<&str> = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            // Unrestricted plans across densities: period 3 saturates
+            // (analysis sites fail -> typed errors), period 251 is
+            // scattershot, and a ~2^40 period essentially never fires
+            // (the exact arm). Sites in analysis have no fallback, so
+            // dense unrestricted plans are expected to error.
+            for (ai, &action) in actions.iter().enumerate() {
+                for (pi, &period) in [3u64, 251, 1 << 40].iter().enumerate() {
+                    let seed = 1 + (threads as u64) * 100 + (ai as u64) * 10 + pi as u64;
+                    arms.push(run_one(
+                        name, src, &baseline, threads, action, seed, period, None,
+                    ));
+                }
+            }
+            // Site-restricted probes at synthesis sites, where the
+            // degradation ladder guarantees a conservative fallback.
+            for site in ["comm_sets", "nest"] {
+                arms.push(run_one(
+                    name,
+                    src,
+                    &baseline,
+                    threads,
+                    FaultAction::Error,
+                    threads as u64,
+                    1,
+                    Some(site),
+                ));
+            }
+        }
+        // The matrix is dense enough that sparse plans leave some runs
+        // exact while dense ones force the other arms; all three arms of
+        // the trichotomy must actually be exercised, or the suite is
+        // vacuous.
+        for arm in ["exact", "degraded", "error"] {
+            assert!(
+                arms.contains(&arm),
+                "{name}: no run landed in the {arm:?} arm: {arms:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn saturation_sweep_threads_1_through_8() {
+    // Period-1 plans fire on every arrival: the worst case. At every
+    // thread count the pipeline must still terminate in a typed state.
+    let src = jacobi_small();
+    let exact = compile(&src, &CompileOptions::new()).expect("JACOBI");
+    let baseline = simulate_small("JACOBI", &exact);
+    for threads in 1..=8usize {
+        for action in [
+            FaultAction::Error,
+            FaultAction::Panic,
+            FaultAction::ExhaustBudget,
+        ] {
+            run_one(
+                "JACOBI",
+                &src,
+                &baseline,
+                threads,
+                action,
+                0xC4A05 + threads as u64,
+                1,
+                None,
+            );
+        }
+    }
+}
+
+#[test]
+fn injection_is_deterministic_per_seed() {
+    // Same seed, same plan, different thread counts: the set of faults a
+    // site sees is a pure function of arrival counts, so the *serial*
+    // outcome replays exactly, and every outcome is simulatable.
+    let src = jacobi_small();
+    let plan = InjectPlan::new(42, 5, FaultAction::Error);
+    let opts = CompileOptions::new().inject(plan);
+    let a = compile(&src, &opts);
+    let b = compile(&src, &opts);
+    match (&a, &b) {
+        (Ok(x), Ok(y)) => {
+            assert_eq!(x.report.injected_faults, y.report.injected_faults);
+            assert_eq!(x.report.degradations(), y.report.degradations());
+            assert_eq!(format!("{:?}", x.program), format!("{:?}", y.program));
+        }
+        (Err(x), Err(y)) => assert_eq!(x.to_string(), y.to_string()),
+        _ => panic!("same seed diverged: {a:?} vs {b:?}"),
+    }
+}
+
+#[test]
+fn zero_deadline_terminates_with_typed_outcome() {
+    // An already-expired deadline: the compile may degrade everything or
+    // give up with a Budget error, but it must return promptly — the
+    // first governed operation trips, and nothing retries in a loop.
+    let src = jacobi_small();
+    for threads in [1usize, 4] {
+        let opts = CompileOptions::new().threads(threads).deadline_ms(0);
+        match compile(&src, &opts) {
+            Ok(c) => {
+                assert!(
+                    !c.report.degradations().is_empty(),
+                    "threads={threads}: a zero deadline cannot compile exactly"
+                );
+                assert_eq!(c.report.governor.tripped, Some("deadline"));
+            }
+            Err(e) => assert!(
+                matches!(e, CompileError::Budget(_) | CompileError::SetAlgebra(_)),
+                "threads={threads}: unexpected error {e}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn precancelled_token_is_refused_up_front() {
+    let token = CancelToken::new();
+    token.cancel();
+    for threads in [1usize, 4] {
+        let opts = CompileOptions::new()
+            .threads(threads)
+            .cancel_token(token.clone());
+        match compile(&jacobi_small(), &opts) {
+            Err(CompileError::Cancelled) => {}
+            other => panic!("threads={threads}: expected Cancelled, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn cancellation_mid_flight_never_degrades() {
+    // Cancel from another thread while the compile runs. Whatever the
+    // race outcome, cancellation must never be *absorbed* by the
+    // degradation ladder: the result is either a complete exact program
+    // (compile won the race) or `Cancelled` — nothing in between.
+    let src = jacobi_small();
+    for delay_us in [0u64, 50, 200, 1000] {
+        let token = CancelToken::new();
+        let opts = CompileOptions::new().threads(4).cancel_token(token.clone());
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                token.cancel();
+            })
+        };
+        let out = compile(&src, &opts);
+        canceller.join().unwrap();
+        match out {
+            Ok(c) => assert!(
+                c.report.degradations().is_empty(),
+                "delay={delay_us}us: cancellation leaked into the degradation ladder: {:?}",
+                c.report.degradations()
+            ),
+            Err(CompileError::Cancelled) => {}
+            Err(e) => panic!("delay={delay_us}us: unexpected error {e}"),
+        }
+    }
+}
+
+#[test]
+fn op_fuel_starvation_degrades_or_errors_soundly() {
+    let src = erlebacher_small();
+    let exact = compile(&src, &CompileOptions::new()).expect("ERLEBACHER");
+    let baseline = simulate_small("ERLEBACHER", &exact);
+    // Sweep fuel from starvation to plenty; low fuel must degrade or
+    // error, generous fuel must reproduce the exact program.
+    for fuel in [0u64, 1, 10, 100, 1_000_000] {
+        let opts = CompileOptions::new().budget(Budget::new().op_fuel(fuel));
+        match compile(&src, &opts) {
+            Ok(c) => {
+                if c.report.governor.tripped.is_some() {
+                    assert!(!c.report.degradations().is_empty(), "fuel={fuel}");
+                } else {
+                    assert!(c.report.degradations().is_empty(), "fuel={fuel}");
+                }
+                same_numbers(
+                    "ERLEBACHER",
+                    &format!("fuel={fuel}"),
+                    &baseline,
+                    &simulate_small("ERLEBACHER", &c),
+                );
+            }
+            Err(e) => assert!(
+                matches!(e, CompileError::Budget(_) | CompileError::SetAlgebra(_)),
+                "fuel={fuel}: unexpected error {e}"
+            ),
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Resource governance: compile budgets and cooperative cancellation.
+//!
+//! A [`Budget`] bounds what one compilation may spend inside the Omega
+//! substrate — wall-clock time, a fuel count of memoized set operations,
+//! and the piece/fuel limits that keep exact negation and FME from
+//! exploding combinatorially. Arm it on a [`Context`](crate::Context) with
+//! [`Context::set_budget`](crate::Context::set_budget); every memoized
+//! operation then checks the budget at entry. A [`CancelToken`] is the
+//! sharper tool: tripping it makes the next fallible operation return
+//! [`OmegaError::Cancelled`](crate::OmegaError::Cancelled) so the whole
+//! compilation aborts with a typed error.
+//!
+//! The distinction matters downstream: budget exhaustion means "stop
+//! spending, a conservative answer is fine" (the driver degrades to
+//! conservative communication), while cancellation means "the caller no
+//! longer wants any answer" (the driver aborts).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Resource limits for one compilation. All fields default to the
+/// historical hard-coded behaviour: no deadline, no fuel cap, and the
+/// negation/FME limits that previously lived as constants in `ops.rs`.
+///
+/// Construct fluently:
+///
+/// ```
+/// use dhpf_omega::Budget;
+/// let b = Budget::new().deadline_ms(5_000).op_fuel(2_000_000);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock deadline in milliseconds, measured from the moment the
+    /// budget is armed on a context. `None` = no deadline.
+    pub deadline_ms: Option<u64>,
+    /// Total memoized Omega operations (sat, FME, negation, gist,
+    /// simplify) the compilation may charge. `None` = unlimited.
+    pub op_fuel: Option<u64>,
+    /// Hard cap on the conjunct pieces an exact negation may produce
+    /// before it is declared inexact (default 10 000 — the PR-5 value).
+    pub max_negation_pieces: usize,
+    /// Negation-piece cap above which semantic subsumption skips a pair
+    /// (purely an optimization limit; default 64).
+    pub subsume_negation_pieces: usize,
+    /// Iteration fuel for the stride-form rewrite inside exact negation
+    /// (default 500).
+    pub stride_fuel: u32,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            deadline_ms: None,
+            op_fuel: None,
+            max_negation_pieces: 10_000,
+            subsume_negation_pieces: 64,
+            stride_fuel: 500,
+        }
+    }
+}
+
+impl Budget {
+    /// An unlimited budget with the default exactness limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the wall-clock deadline in milliseconds.
+    #[must_use]
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Sets the total Omega-operation fuel.
+    #[must_use]
+    pub fn op_fuel(mut self, fuel: u64) -> Self {
+        self.op_fuel = Some(fuel);
+        self
+    }
+
+    /// Sets the exact-negation piece cap.
+    #[must_use]
+    pub fn max_negation_pieces(mut self, n: usize) -> Self {
+        self.max_negation_pieces = n;
+        self
+    }
+
+    /// Sets the subsumption-check piece cap.
+    #[must_use]
+    pub fn subsume_negation_pieces(mut self, n: usize) -> Self {
+        self.subsume_negation_pieces = n;
+        self
+    }
+
+    /// Sets the stride-form rewrite fuel.
+    #[must_use]
+    pub fn stride_fuel(mut self, fuel: u32) -> Self {
+        self.stride_fuel = fuel;
+        self
+    }
+
+    /// True if neither a deadline nor op fuel is set (only the exactness
+    /// limits apply, which cost nothing to enforce).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline_ms.is_none() && self.op_fuel.is_none()
+    }
+}
+
+/// A shared cancellation flag. Clones observe the same flag, so the token
+/// can be handed to another thread (or a request handler) and tripped
+/// while a compilation is in flight; the compilation aborts at its next
+/// cancellation point with a typed error.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Counters reported by [`Context::governor_stats`](crate::Context::governor_stats):
+/// how much work the governor saw and whether it tripped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GovernorStats {
+    /// Memoized operations charged against the budget.
+    pub ops_charged: u64,
+    /// Operations answered conservatively (or refused) after the budget
+    /// tripped.
+    pub ops_degraded: u64,
+    /// Why the budget tripped, if it did (`"deadline"` or `"op fuel"`,
+    /// or `"injected"` under fault injection).
+    pub tripped: Option<&'static str>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_builder_round_trips() {
+        let b = Budget::new()
+            .deadline_ms(100)
+            .op_fuel(42)
+            .max_negation_pieces(9)
+            .subsume_negation_pieces(3)
+            .stride_fuel(7);
+        assert_eq!(b.deadline_ms, Some(100));
+        assert_eq!(b.op_fuel, Some(42));
+        assert_eq!(b.max_negation_pieces, 9);
+        assert_eq!(b.subsume_negation_pieces, 3);
+        assert_eq!(b.stride_fuel, 7);
+        assert!(!b.is_unlimited());
+        assert!(Budget::default().is_unlimited());
+    }
+
+    #[test]
+    fn cancel_token_is_shared() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+    }
+}

@@ -319,6 +319,24 @@ impl Conjunct {
         }
     }
 
+    /// Exact-or-fail form of [`is_satisfiable_in`](Self::is_satisfiable_in):
+    /// where the governed variant degrades to a conservative `true` after
+    /// a budget trip, this one surfaces the trip as an error. Use it
+    /// wherever a spurious "satisfiable" is *unsound* — e.g. pruning
+    /// pieces before loop-bound emission in code generation, where a
+    /// retained empty piece widens hull bounds into phantom iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the budget/cancellation error when the context's governor
+    /// refuses the operation.
+    pub fn try_is_satisfiable_in(&self, ctx: Option<&crate::Context>) -> Result<bool, OmegaError> {
+        match ctx {
+            Some(cx) => cx.cached_sat_strict(self, || self.sat_uncached(ctx)),
+            None => Ok(self.sat_uncached(None)),
+        }
+    }
+
     fn sat_uncached(&self, ctx: Option<&crate::Context>) -> bool {
         let mut work = vec![self.clone()];
         let mut fuel: u64 = 200_000;

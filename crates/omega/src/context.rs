@@ -39,8 +39,10 @@
 //! # Ok::<(), dhpf_omega::OmegaError>(())
 //! ```
 
+use crate::budget::{Budget, CancelToken, GovernorStats};
 use crate::builder::{RelationBuilder, SetBuilder};
 use crate::conjunct::Conjunct;
+use crate::inject::{FaultAction, InjectPlan};
 use crate::linexpr::LinExpr;
 use crate::relation::Relation;
 use crate::set::Set;
@@ -51,9 +53,9 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Maximum total entries per memo table (summed across shards) before a
 /// shard is flushed (counted as evictions). Keeps long compilations
@@ -236,6 +238,78 @@ impl Shard {
     }
 }
 
+/// Trip-reason codes stored in `Inner::trip_code` (0 = not tripped).
+const TRIP_DEADLINE: u8 = 1;
+const TRIP_FUEL: u8 = 2;
+const TRIP_INJECTED: u8 = 3;
+
+fn trip_reason(code: u8) -> Option<&'static str> {
+    match code {
+        TRIP_DEADLINE => Some("deadline"),
+        TRIP_FUEL => Some("op fuel"),
+        TRIP_INJECTED => Some("injected"),
+        _ => None,
+    }
+}
+
+thread_local! {
+    /// Nesting depth of [`governor_grace`] scopes on the current thread.
+    static GRACE_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Suspends budget enforcement and fault injection on the *current thread*
+/// until the returned guard drops; cancellation stays live.
+///
+/// The degraded rebuild that runs after a budget trip must itself perform
+/// set algebra — conservative communication maps still pass through code
+/// generation, which subtracts conjuncts — and without a grace scope those
+/// operations would fail with the very `BudgetExceeded` the rebuild is
+/// recovering from. The scope is thread-local so sibling compile tasks on
+/// other worker threads remain fully governed; it nests, and it suspends
+/// injection too, so a fallback can never be re-injected into an
+/// escalation loop.
+#[must_use = "enforcement resumes when the guard drops"]
+pub fn governor_grace() -> GraceGuard {
+    GRACE_DEPTH.with(|d| d.set(d.get() + 1));
+    GraceGuard { _priv: () }
+}
+
+/// RAII scope of [`governor_grace`].
+pub struct GraceGuard {
+    _priv: (),
+}
+
+impl Drop for GraceGuard {
+    fn drop(&mut self) {
+        GRACE_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+}
+
+fn in_grace() -> bool {
+    GRACE_DEPTH.with(std::cell::Cell::get) > 0
+}
+
+/// Process-wide monotonic anchor for deadline arithmetic: deadlines are
+/// stored as microseconds-since-anchor in one `AtomicU64`, so the per-op
+/// check is a clock read and a compare — no lock, no `Instant` in shared
+/// state.
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Mutable fault-injection bookkeeping, behind one mutex that is only
+/// touched when a plan is armed (the `governed` gate keeps it off the
+/// ungoverned hot path). Per-site hit counters make decisions a pure
+/// function of `(seed, site, count)` regardless of thread interleaving
+/// *per site*.
+#[derive(Default)]
+struct InjectState {
+    plan: Option<InjectPlan>,
+    counts: HashMap<&'static str, u64>,
+    fired: u64,
+}
+
 struct Inner {
     enabled: AtomicBool,
     /// Fast gate for the trace hook: `true` iff `obs` holds a collector.
@@ -243,6 +317,31 @@ struct Inner {
     traced: AtomicBool,
     /// The attached trace collector (see [`Context::set_collector`]).
     obs: Mutex<Option<Collector>>,
+    /// Fast gate for the resource governor: `true` iff a deadline, op
+    /// fuel, a cancel token, or an injection plan is armed (or the budget
+    /// already tripped). When `false`, `charge` is one relaxed load.
+    governed: AtomicBool,
+    /// Sticky once the budget trips; `trip_code` says why.
+    tripped: AtomicBool,
+    trip_code: AtomicU8,
+    /// Remaining op fuel; `u64::MAX` = unlimited.
+    fuel: AtomicU64,
+    /// Deadline in microseconds since [`anchor`]; `u64::MAX` = none.
+    deadline_us: AtomicU64,
+    /// Fast gate for the cancel check (avoids the mutex when unarmed).
+    cancel_armed: AtomicBool,
+    cancel: Mutex<Option<CancelToken>>,
+    /// Configurable exactness limits (satellite of PR 7: the former
+    /// hard-coded constants in `ops.rs` / `relation.rs`).
+    max_negation_pieces: AtomicUsize,
+    subsume_negation_pieces: AtomicUsize,
+    stride_fuel: AtomicU32,
+    /// Governor counters ([`GovernorStats`]).
+    charged: AtomicU64,
+    degraded: AtomicU64,
+    /// Fast gate + state for fault injection.
+    inject_armed: AtomicBool,
+    inject: Mutex<InjectState>,
     shards: [Mutex<Shard>; SHARDS],
 }
 
@@ -328,6 +427,22 @@ impl Context {
                 enabled: AtomicBool::new(true),
                 traced: AtomicBool::new(false),
                 obs: Mutex::new(None),
+                governed: AtomicBool::new(false),
+                tripped: AtomicBool::new(false),
+                trip_code: AtomicU8::new(0),
+                fuel: AtomicU64::new(u64::MAX),
+                deadline_us: AtomicU64::new(u64::MAX),
+                cancel_armed: AtomicBool::new(false),
+                cancel: Mutex::new(None),
+                max_negation_pieces: AtomicUsize::new(Budget::default().max_negation_pieces),
+                subsume_negation_pieces: AtomicUsize::new(
+                    Budget::default().subsume_negation_pieces,
+                ),
+                stride_fuel: AtomicU32::new(Budget::default().stride_fuel),
+                charged: AtomicU64::new(0),
+                degraded: AtomicU64::new(0),
+                inject_armed: AtomicBool::new(false),
+                inject: Mutex::new(InjectState::default()),
                 shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
             }),
         }
@@ -409,6 +524,266 @@ impl Context {
     pub fn reset_stats(&self) {
         for shard in &self.inner.shards {
             shard.lock().unwrap().counts = ShardCounts::default();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Resource governor
+    // ------------------------------------------------------------------
+
+    /// Recomputes the `governed` fast gate from the armed state. Called
+    /// after every arm/disarm mutation.
+    fn update_governed(&self) {
+        let i = &self.inner;
+        let on = i.fuel.load(Ordering::Relaxed) != u64::MAX
+            || i.deadline_us.load(Ordering::Relaxed) != u64::MAX
+            || i.cancel_armed.load(Ordering::Relaxed)
+            || i.inject_armed.load(Ordering::Relaxed)
+            || i.tripped.load(Ordering::Relaxed);
+        i.governed.store(on, Ordering::Release);
+    }
+
+    /// Arms a compile [`Budget`] on this context. The deadline clock
+    /// starts now; op fuel is set to the budget's quota; the exactness
+    /// limits (negation pieces, subsumption pieces, stride fuel) replace
+    /// the previous values. Any earlier trip is cleared.
+    pub fn set_budget(&self, b: &Budget) {
+        let i = &self.inner;
+        i.tripped.store(false, Ordering::Relaxed);
+        i.trip_code.store(0, Ordering::Relaxed);
+        i.fuel
+            .store(b.op_fuel.unwrap_or(u64::MAX), Ordering::Relaxed);
+        let deadline = b.deadline_ms.map_or(u64::MAX, |ms| {
+            let at = anchor().elapsed() + Duration::from_millis(ms);
+            u64::try_from(at.as_micros()).unwrap_or(u64::MAX)
+        });
+        i.deadline_us.store(deadline, Ordering::Relaxed);
+        // Memoized negation/elimination results depend on the exactness
+        // limits (a negation that is inexact under a tight piece cap may
+        // be exact under the default), so changing any limit flushes the
+        // memo tables — otherwise a stale `InexactNegation` could outlive
+        // the budget that caused it.
+        let limits_changed = i
+            .max_negation_pieces
+            .swap(b.max_negation_pieces, Ordering::Relaxed)
+            != b.max_negation_pieces
+            || i.subsume_negation_pieces
+                .swap(b.subsume_negation_pieces, Ordering::Relaxed)
+                != b.subsume_negation_pieces
+            || i.stride_fuel.swap(b.stride_fuel, Ordering::Relaxed) != b.stride_fuel;
+        if limits_changed {
+            self.flush_memo_tables();
+        }
+        self.update_governed();
+    }
+
+    /// Drops every memoized result (the interned arena and the counters
+    /// are kept). Used when the exactness limits change.
+    fn flush_memo_tables(&self) {
+        for shard in &self.inner.shards {
+            let mut s = shard.lock().unwrap();
+            s.sat.clear();
+            s.eliminate.clear();
+            s.negate.clear();
+            s.gist.clear();
+            s.simplify.clear();
+        }
+    }
+
+    /// Disarms the budget: unlimited fuel, no deadline, default limits,
+    /// trip state cleared. Cancel token and injection plan are unaffected.
+    pub fn clear_budget(&self) {
+        self.set_budget(&Budget::default());
+    }
+
+    /// Arms (or with `None`, disarms) a cancellation token. Once the token
+    /// is [cancelled](CancelToken::cancel), fallible governed operations
+    /// return [`OmegaError::Cancelled`] and [`Context::check_cancelled`]
+    /// fails at the driver's checkpoints.
+    pub fn set_cancel_token(&self, t: Option<CancelToken>) {
+        let i = &self.inner;
+        let armed = t.is_some();
+        *i.cancel.lock().unwrap() = t;
+        i.cancel_armed.store(armed, Ordering::Release);
+        self.update_governed();
+    }
+
+    /// Arms (or with `None`, disarms) a deterministic fault-injection
+    /// plan. Per-site hit counters are reset on every call.
+    pub fn set_inject(&self, p: Option<InjectPlan>) {
+        let i = &self.inner;
+        let armed = p.is_some();
+        {
+            let mut st = i.inject.lock().unwrap();
+            st.plan = p;
+            st.counts.clear();
+            st.fired = 0;
+        }
+        i.inject_armed.store(armed, Ordering::Release);
+        self.update_governed();
+    }
+
+    /// True once the budget has tripped (deadline passed, fuel spent, or
+    /// an injected exhaustion). Sticky until the next [`Context::set_budget`].
+    pub fn budget_tripped(&self) -> bool {
+        self.inner.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Governor counters: ops charged, ops answered conservatively after a
+    /// trip, and the trip reason if any.
+    pub fn governor_stats(&self) -> GovernorStats {
+        GovernorStats {
+            ops_charged: self.inner.charged.load(Ordering::Relaxed),
+            ops_degraded: self.inner.degraded.load(Ordering::Relaxed),
+            tripped: trip_reason(self.inner.trip_code.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// How many times the armed injection plan has fired.
+    pub fn inject_fired(&self) -> u64 {
+        if !self.inner.inject_armed.load(Ordering::Relaxed) {
+            return 0;
+        }
+        self.inner.inject.lock().unwrap().fired
+    }
+
+    /// Current exact-negation piece cap (see [`Budget::max_negation_pieces`]).
+    pub fn max_negation_pieces(&self) -> usize {
+        self.inner.max_negation_pieces.load(Ordering::Relaxed)
+    }
+
+    /// Current subsumption piece cap (see [`Budget::subsume_negation_pieces`]).
+    pub fn subsume_negation_pieces(&self) -> usize {
+        self.inner.subsume_negation_pieces.load(Ordering::Relaxed)
+    }
+
+    /// Current stride-form rewrite fuel (see [`Budget::stride_fuel`]).
+    pub fn stride_fuel(&self) -> u32 {
+        self.inner.stride_fuel.load(Ordering::Relaxed)
+    }
+
+    /// Explicit cancellation checkpoint: `Err(Cancelled)` once the armed
+    /// token has tripped. The driver calls this between phases and at nest
+    /// entry so cancellation is prompt even when the set operations in
+    /// flight are the infallible ones (sat/gist/simplify) that cannot
+    /// propagate an error.
+    pub fn check_cancelled(&self) -> Result<(), OmegaError> {
+        if !self.inner.cancel_armed.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let cancelled = self
+            .inner
+            .cancel
+            .lock()
+            .unwrap()
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled);
+        if cancelled {
+            Err(OmegaError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Trips the budget with the given reason code (sticky).
+    fn trip(&self, code: u8) {
+        let i = &self.inner;
+        // First tripper wins the reason; later trips keep it.
+        let _ = i
+            .trip_code
+            .compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed);
+        i.tripped.store(true, Ordering::Relaxed);
+        i.governed.store(true, Ordering::Release);
+    }
+
+    /// Charges one governed operation against the budget. `Ok(())` means
+    /// proceed; `Err` means the op must not run: the fallible memoized
+    /// operations propagate the error (uncached — budget errors must never
+    /// be memoized), the infallible ones substitute a sound conservative
+    /// answer. The ungoverned fast path is a single relaxed load.
+    pub(crate) fn charge(&self, op: &'static str) -> Result<(), OmegaError> {
+        if !self.inner.governed.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        self.charge_slow(op)
+    }
+
+    #[cold]
+    fn charge_slow(&self, op: &'static str) -> Result<(), OmegaError> {
+        let i = &self.inner;
+        self.check_cancelled()?;
+        if in_grace() {
+            return Ok(());
+        }
+        if i.inject_armed.load(Ordering::Relaxed) {
+            self.inject_fire(op)?;
+        }
+        i.charged.fetch_add(1, Ordering::Relaxed);
+        if !i.tripped.load(Ordering::Relaxed) {
+            // Spend fuel (u64::MAX = unlimited; fetch_update avoids wrap).
+            let fuel = i.fuel.load(Ordering::Relaxed);
+            if fuel != u64::MAX {
+                let spent = i
+                    .fuel
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |f| f.checked_sub(1));
+                if spent.is_err() {
+                    self.trip(TRIP_FUEL);
+                }
+            }
+            let deadline = i.deadline_us.load(Ordering::Relaxed);
+            if deadline != u64::MAX {
+                let now = u64::try_from(anchor().elapsed().as_micros()).unwrap_or(u64::MAX);
+                if now > deadline {
+                    self.trip(TRIP_DEADLINE);
+                }
+            }
+        }
+        if i.tripped.load(Ordering::Relaxed) {
+            i.degraded.fetch_add(1, Ordering::Relaxed);
+            let reason = trip_reason(i.trip_code.load(Ordering::Relaxed)).unwrap_or("budget");
+            return Err(OmegaError::BudgetExceeded(reason));
+        }
+        Ok(())
+    }
+
+    /// Fault-injection checkpoint for a named site. Suspended inside a
+    /// [`governor_grace`] scope so the degraded rebuild that follows an
+    /// injected fault cannot be re-injected into an escalation loop.
+    /// The memoized Omega
+    /// operations pass through here via [`Context::charge`]; the host
+    /// compiler calls it directly at its own sites (`"comm_sets"`,
+    /// `"nest"`). No locks are held when an injected panic unwinds.
+    pub fn inject_check(&self, site: &'static str) -> Result<(), OmegaError> {
+        if !self.inner.inject_armed.load(Ordering::Relaxed) || in_grace() {
+            return Ok(());
+        }
+        self.inject_fire(site)
+    }
+
+    fn inject_fire(&self, site: &'static str) -> Result<(), OmegaError> {
+        let action = {
+            let mut st = self.inner.inject.lock().unwrap();
+            let Some(plan) = st.plan.clone() else {
+                return Ok(());
+            };
+            let count = st.counts.entry(site).or_insert(0);
+            let n = *count;
+            *count += 1;
+            if !plan.should_fire(site, n) {
+                return Ok(());
+            }
+            st.fired += 1;
+            plan.action
+            // Guard drops here: injected panics never poison the state.
+        };
+        match action {
+            FaultAction::Error => Err(OmegaError::InexactNegation),
+            FaultAction::Panic => panic!("injected panic at site {site}"),
+            FaultAction::ExhaustBudget => {
+                self.trip(TRIP_INJECTED);
+                self.inner.degraded.fetch_add(1, Ordering::Relaxed);
+                Err(OmegaError::BudgetExceeded("injected"))
+            }
         }
     }
 
@@ -525,10 +900,29 @@ impl Context {
     // compilations never duplicate work; concurrent ones at worst compute
     // an entry twice.
 
+    /// `cached_sat` for *analysis* callers, where "satisfiable" is the
+    /// sound conservative answer: once the budget trips, the degraded
+    /// `true` never lets the compiler skip communication or drop a
+    /// splinter. Code generation must NOT use this — an emptiness test
+    /// that prunes pieces before emitting loop bounds needs the exact
+    /// answer or a typed failure ([`cached_sat_strict`](Self::cached_sat_strict)):
+    /// a spurious "satisfiable" there widens hull bounds and emits
+    /// phantom iterations, breaking send/recv duality.
     pub(crate) fn cached_sat(&self, c: &Conjunct, compute: impl FnOnce() -> bool) -> bool {
+        self.cached_sat_strict(c, compute).unwrap_or(true)
+    }
+
+    /// Exact-or-fail satisfiability: the budget charge error propagates
+    /// instead of degrading to `true`. Degraded answers are never cached.
+    pub(crate) fn cached_sat_strict(
+        &self,
+        c: &Conjunct,
+        compute: impl FnOnce() -> bool,
+    ) -> Result<bool, OmegaError> {
         let _t = self.op_trace("satisfiability", conjunct_size(c));
+        self.charge("sat")?;
         if !self.is_enabled() {
-            return compute();
+            return Ok(compute());
         }
         let (s, id) = {
             let cc = c.canonical();
@@ -537,7 +931,7 @@ impl Context {
             let id = Self::intern_in(&mut shard.conjuncts, &cc, s);
             if let Some(&v) = shard.sat.get(&id) {
                 shard.counts.sat.hits += 1;
-                return v;
+                return Ok(v);
             }
             shard.counts.sat.misses += 1;
             (s, id)
@@ -550,7 +944,7 @@ impl Context {
             shard.sat.clear();
         }
         shard.sat.insert(id, v);
-        v
+        Ok(v)
     }
 
     pub(crate) fn cached_eliminate(
@@ -560,6 +954,10 @@ impl Context {
         compute: impl FnOnce() -> Result<Vec<Conjunct>, OmegaError>,
     ) -> Result<Vec<Conjunct>, OmegaError> {
         let _t = self.op_trace("fme projection", conjunct_size(c));
+        // Budget/cancel errors propagate *uncached*: memoizing one would
+        // poison a long-lived context past the end of the budgeted
+        // compilation.
+        self.charge("eliminate")?;
         if !self.is_enabled() {
             return compute();
         }
@@ -592,6 +990,7 @@ impl Context {
         compute: impl FnOnce() -> Result<Vec<Conjunct>, OmegaError>,
     ) -> Result<Vec<Conjunct>, OmegaError> {
         let _t = self.op_trace("negation", conjunct_size(c));
+        self.charge("negate")?;
         if !self.is_enabled() {
             return compute();
         }
@@ -625,6 +1024,11 @@ impl Context {
         compute: impl FnOnce() -> Conjunct,
     ) -> Conjunct {
         let _t = self.op_trace("gist", conjunct_size(c) + conjunct_size(given));
+        // Gist is a pure simplification: returning the input unchanged is
+        // always sound, so a tripped budget degrades to the identity.
+        if self.charge("gist").is_err() {
+            return c.clone();
+        }
         if !self.is_enabled() {
             return compute();
         }
@@ -660,6 +1064,10 @@ impl Context {
         compute: impl FnOnce() -> Vec<Conjunct>,
     ) -> Vec<Conjunct> {
         let _t = self.op_trace("simplify", conjuncts.iter().map(conjunct_size).sum());
+        // Like gist: identity is sound, so degrade to the input list.
+        if self.charge("simplify").is_err() {
+            return conjuncts.to_vec();
+        }
         if !self.is_enabled() {
             return compute();
         }
@@ -823,5 +1231,173 @@ mod tests {
         let ctx = Context::new();
         let txt = ctx.stats().to_string();
         assert!(txt.contains("hit rate"));
+    }
+
+    #[test]
+    fn ungoverned_context_charges_nothing() {
+        let ctx = Context::new();
+        let s = ctx.parse_set("{[i] : 1 <= i <= 10}").unwrap();
+        assert!(!s.is_empty());
+        assert_eq!(ctx.governor_stats(), GovernorStats::default());
+    }
+
+    #[test]
+    fn op_fuel_trips_and_degrades_soundly() {
+        let ctx = Context::new();
+        ctx.set_budget(&Budget::new().op_fuel(1));
+        let s = ctx.parse_set("{[i] : 1 <= i <= 10}").unwrap();
+        let t = ctx.parse_set("{[i] : 3 <= i <= 30}").unwrap();
+        // Burn far more than one op; everything must still terminate and
+        // the conservative answers must be sound (non-empty says non-empty).
+        assert!(!s.is_empty());
+        assert!(!s.intersection(&t).is_empty());
+        assert!(ctx.budget_tripped());
+        let g = ctx.governor_stats();
+        assert_eq!(g.tripped, Some("op fuel"));
+        assert!(g.ops_degraded > 0);
+        // Fallible ops now surface the typed error.
+        let err = s.try_subtract(&t).unwrap_err();
+        assert!(matches!(err, OmegaError::BudgetExceeded("op fuel")));
+        // Re-arming clears the trip.
+        ctx.clear_budget();
+        assert!(!ctx.budget_tripped());
+        assert!(s.try_subtract(&t).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_trips() {
+        let ctx = Context::new();
+        ctx.set_budget(&Budget::new().deadline_ms(0));
+        std::thread::sleep(Duration::from_millis(2));
+        let s = ctx.parse_set("{[i] : 1 <= i <= 10}").unwrap();
+        assert!(!s.is_empty()); // degraded-but-sound
+        assert!(!s.is_empty());
+        assert!(ctx.budget_tripped());
+        assert_eq!(ctx.governor_stats().tripped, Some("deadline"));
+    }
+
+    #[test]
+    fn budget_errors_are_never_memoized() {
+        let ctx = Context::new();
+        let s = ctx.parse_set("{[i] : 1 <= i <= 10}").unwrap();
+        let t = ctx.parse_set("{[i] : 3 <= i <= 30}").unwrap();
+        ctx.set_budget(&Budget::new().op_fuel(0));
+        assert!(s.try_subtract(&t).is_err());
+        ctx.clear_budget();
+        // The same structural query must now succeed from a clean slate.
+        let d = s.try_subtract(&t).unwrap();
+        assert!(d.contains(&[2], &[]));
+        assert!(!d.contains(&[3], &[]));
+    }
+
+    #[test]
+    fn grace_scope_suspends_trip_but_not_cancellation() {
+        let ctx = Context::new();
+        let s = ctx.parse_set("{[i] : 1 <= i <= 10}").unwrap();
+        let t = ctx.parse_set("{[i] : 3 <= i <= 30}").unwrap();
+        ctx.set_budget(&Budget::new().op_fuel(0));
+        assert!(s.try_subtract(&t).is_err());
+        assert!(ctx.budget_tripped());
+        {
+            let _grace = governor_grace();
+            // Inside the grace scope the tripped budget no longer blocks
+            // the set algebra the degraded rebuild needs...
+            let d = s.try_subtract(&t).unwrap();
+            assert!(d.contains(&[2], &[]));
+            // ...but cancellation still aborts.
+            let token = CancelToken::new();
+            ctx.set_cancel_token(Some(token.clone()));
+            token.cancel();
+            assert!(matches!(s.try_subtract(&t), Err(OmegaError::Cancelled)));
+            ctx.set_cancel_token(None);
+        }
+        // Enforcement resumes once the guard drops.
+        assert!(matches!(
+            s.try_subtract(&t),
+            Err(OmegaError::BudgetExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn cancel_token_aborts_fallible_ops() {
+        let ctx = Context::new();
+        let token = CancelToken::new();
+        ctx.set_cancel_token(Some(token.clone()));
+        let s = ctx.parse_set("{[i] : 1 <= i <= 10}").unwrap();
+        let t = ctx.parse_set("{[i] : 3 <= i <= 30}").unwrap();
+        assert!(s.try_subtract(&t).is_ok());
+        assert!(ctx.check_cancelled().is_ok());
+        token.cancel();
+        assert_eq!(ctx.check_cancelled(), Err(OmegaError::Cancelled));
+        assert!(matches!(s.try_subtract(&t), Err(OmegaError::Cancelled)));
+        ctx.set_cancel_token(None);
+        assert!(s.try_subtract(&t).is_ok());
+    }
+
+    #[test]
+    fn configurable_limits_reach_the_ops() {
+        let ctx = Context::new();
+        assert_eq!(ctx.max_negation_pieces(), 10_000);
+        assert_eq!(ctx.subsume_negation_pieces(), 64);
+        assert_eq!(ctx.stride_fuel(), 500);
+        // A piece cap of zero makes any non-trivial negation inexact.
+        ctx.set_budget(&Budget::new().max_negation_pieces(0));
+        let s = ctx.parse_set("{[i] : 1 <= i <= 10}").unwrap();
+        let t = ctx.parse_set("{[i] : 3 <= i <= 5}").unwrap();
+        assert!(matches!(
+            s.try_subtract(&t),
+            Err(OmegaError::InexactNegation)
+        ));
+        ctx.clear_budget();
+        assert!(s.try_subtract(&t).is_ok());
+    }
+
+    #[test]
+    fn injected_errors_fire_deterministically() {
+        use crate::inject::{FaultAction, InjectPlan};
+        let run = |seed: u64| -> (bool, u64) {
+            let ctx = Context::new();
+            ctx.set_inject(Some(InjectPlan::new(seed, 3, FaultAction::Error)));
+            let s = ctx.parse_set("{[i] : 1 <= i <= 10}").unwrap();
+            let t = ctx.parse_set("{[i] : 3 <= i <= 30}").unwrap();
+            let r = s.try_subtract(&t).is_ok();
+            (r, ctx.inject_fired())
+        };
+        let (a_ok, a_fired) = run(42);
+        let (b_ok, b_fired) = run(42);
+        assert_eq!(a_ok, b_ok);
+        assert_eq!(a_fired, b_fired);
+    }
+
+    #[test]
+    fn injected_budget_exhaustion_trips_governor() {
+        use crate::inject::{FaultAction, InjectPlan};
+        let ctx = Context::new();
+        ctx.set_inject(Some(
+            InjectPlan::new(7, 1, FaultAction::ExhaustBudget).at_site("eliminate"),
+        ));
+        let s = ctx
+            .parse_set("{[i] : exists(a : i = 2a) && 0 <= i <= 10}")
+            .unwrap();
+        let t = ctx.parse_set("{[i] : 3 <= i <= 30}").unwrap();
+        let _ = s.try_subtract(&t);
+        assert!(ctx.budget_tripped());
+        assert_eq!(ctx.governor_stats().tripped, Some("injected"));
+    }
+
+    #[test]
+    fn injected_panics_unwind_cleanly() {
+        use crate::inject::{FaultAction, InjectPlan};
+        let ctx = Context::new();
+        ctx.set_inject(Some(
+            InjectPlan::new(9, 1, FaultAction::Panic).at_site("sat"),
+        ));
+        let s = ctx.parse_set("{[i] : 1 <= i <= 10}").unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.is_empty()));
+        assert!(r.is_err(), "period-1 sat panic plan must fire");
+        // The context is not poisoned: disarm and keep using it.
+        ctx.set_inject(None);
+        assert!(!s.is_empty());
+        assert!(ctx.stats().total_misses() > 0);
     }
 }

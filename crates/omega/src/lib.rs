@@ -38,10 +38,12 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod builder;
 pub mod conjunct;
 pub mod context;
 pub mod display;
+pub mod inject;
 pub mod linexpr;
 pub mod num;
 pub mod ops;
@@ -52,9 +54,11 @@ pub mod set;
 pub mod testing;
 pub mod var;
 
+pub use budget::{Budget, CancelToken, GovernorStats};
 pub use builder::{RelationBuilder, SetBuilder};
 pub use conjunct::{Conjunct, Normalized};
-pub use context::{CacheStats, Context, OpCounts};
+pub use context::{governor_grace, CacheStats, Context, GraceGuard, OpCounts};
+pub use inject::{FaultAction, InjectPlan};
 pub use linexpr::LinExpr;
 #[allow(deprecated)]
 pub use ops::{negate_conjunct, to_stride_form};
@@ -89,6 +93,13 @@ pub enum OmegaError {
     /// contiguity tests) was applied to a set of a different arity; the
     /// payload names the operation.
     Arity(&'static str),
+    /// The compile [`Budget`] armed on the context was exhausted (deadline
+    /// passed or op fuel spent); the payload names the exhausted resource.
+    /// The driver treats this like inexactness: degrade, don't die.
+    BudgetExceeded(&'static str),
+    /// The [`CancelToken`] armed on the context was tripped. Unlike budget
+    /// exhaustion this is never degraded — the compilation aborts.
+    Cancelled,
 }
 
 impl fmt::Display for OmegaError {
@@ -101,6 +112,8 @@ impl fmt::Display for OmegaError {
             OmegaError::Parse(e) => write!(f, "{e}"),
             OmegaError::Overflow(op) => write!(f, "integer overflow in {op}"),
             OmegaError::Arity(op) => write!(f, "{op} requires a 1-D set"),
+            OmegaError::BudgetExceeded(what) => write!(f, "compile budget exceeded: {what}"),
+            OmegaError::Cancelled => write!(f, "compilation cancelled"),
         }
     }
 }

@@ -62,11 +62,16 @@ fn negate_uncached(
     // pieces with ~17 negation atoms each yield up to 17^k conjuncts), so
     // the accumulator carries a hard budget; blowing it means the exact
     // complement is too large to represent and the negation is inexact.
-    const MAX_NEGATION_PIECES: usize = 10_000;
+    // The cap is per-context configurable via `Budget::max_negation_pieces`
+    // (default 10 000, the historical constant).
+    let max_negation_pieces = ctx.map_or_else(
+        || crate::Budget::default().max_negation_pieces,
+        crate::Context::max_negation_pieces,
+    );
     let mut acc: Vec<Conjunct> = vec![Conjunct::new()];
     for p in &stride_form {
         let negs = negate_stride_conjunct(p);
-        if acc.len().saturating_mul(negs.len()) > MAX_NEGATION_PIECES {
+        if acc.len().saturating_mul(negs.len()) > max_negation_pieces {
             return Err(OmegaError::InexactNegation);
         }
         let mut next = Vec::new();
@@ -115,7 +120,11 @@ pub fn to_stride_form_in(
 ) -> Result<Vec<Conjunct>, OmegaError> {
     let mut done = Vec::new();
     let mut work = vec![c];
-    let mut fuel = 500u32;
+    // Per-context configurable via `Budget::stride_fuel` (default 500).
+    let mut fuel = ctx.map_or_else(
+        || crate::Budget::default().stride_fuel,
+        crate::Context::stride_fuel,
+    );
     while let Some(mut c) = work.pop() {
         if fuel == 0 {
             return Err(OmegaError::InexactNegation);
@@ -133,47 +142,66 @@ pub fn to_stride_form_in(
 }
 
 /// Negates a conjunct whose existentials are all pure congruence witnesses:
-/// the complement is the union of the per-constraint negations.
+/// the complement is the union of the per-constraint negations, made
+/// *pairwise disjoint* by the standard prefix trick —
+/// `¬(c1 ∧ c2 ∧ ...) = ¬c1 ∨ (c1 ∧ ¬c2) ∨ (c1 ∧ c2 ∧ ¬c3) ∨ ...`.
+///
+/// Disjointness matters downstream: code generation turns the pieces of a
+/// set difference into loop nests and must enumerate every tuple exactly
+/// once, so an overlapping complement would duplicate iterations (and
+/// communication messages). The prefix costs extra constraints per piece
+/// but never increases the piece count.
 fn negate_stride_conjunct(c: &Conjunct) -> Vec<Conjunct> {
     let mut out = Vec::new();
+    let mut prefix = Conjunct::new();
     for e in c.geqs() {
-        // ¬(e >= 0)  =  -e - 1 >= 0
-        let mut n = Conjunct::new();
+        // ¬(e >= 0)  =  -e - 1 >= 0, under the satisfied prefix.
+        let mut n = prefix.clone();
         let mut neg = e.negated();
         neg.add_constant(-1);
         n.add_geq(neg);
         if n.normalize() != Normalized::False {
             out.push(n);
         }
+        prefix.add_geq(e.clone());
     }
     for e in c.eqs() {
         let (exist_gcd, f) = split_exist_part(e);
         match exist_gcd {
             None => {
-                // ¬(f = 0)  =  f >= 1  ∨  -f >= 1
-                let mut hi = Conjunct::new();
+                // ¬(f = 0)  =  f >= 1  ∨  -f >= 1 (disjoint halves).
+                let mut hi = prefix.clone();
                 let mut a = f.clone();
                 a.add_constant(-1);
                 hi.add_geq(a);
-                out.push(hi);
-                let mut lo = Conjunct::new();
+                if hi.normalize() != Normalized::False {
+                    out.push(hi);
+                }
+                let mut lo = prefix.clone();
                 let mut b = f.negated();
                 b.add_constant(-1);
                 lo.add_geq(b);
-                out.push(lo);
+                if lo.normalize() != Normalized::False {
+                    out.push(lo);
+                }
+                prefix.add_eq(f.clone());
             }
             Some(g) if g <= 1 => {
                 // f ≡ 0 (mod 1): tautology; contributes nothing to ¬c.
             }
             Some(g) => {
-                // ¬(f ≡ 0 mod g): f ≡ r (mod g) for r = 1..g-1.
+                // ¬(f ≡ 0 mod g): f ≡ r (mod g) for r = 1..g-1 (disjoint
+                // residue classes).
                 for r in 1..g {
-                    let mut n = Conjunct::new();
+                    let mut n = prefix.clone();
                     let mut expr = f.clone();
                     expr.add_constant(-r);
                     n.add_stride(expr, g);
-                    out.push(n);
+                    if n.normalize() != Normalized::False {
+                        out.push(n);
+                    }
                 }
+                prefix.add_stride(f.clone(), g);
             }
         }
     }

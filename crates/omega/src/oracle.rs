@@ -646,9 +646,27 @@ fn try_equal_sets(a: &Set, b: &Set) -> Result<bool, OmegaError> {
 /// This is deliberately a big dispatch on the law name so regression tests
 /// and the shrinker can re-run exactly the same decision procedure.
 pub fn check(case: &Case, cfg: &OracleConfig) -> Verdict {
-    match check_inner(case, cfg) {
-        Ok(v) => v,
-        Err(msg) => Verdict::Fail(msg),
+    // A panic inside the decision procedure (or the operations under test)
+    // is a violation like any other: catch it, turn it into a `Fail`, and
+    // let the shrinker minimize the case exactly as it would a wrong
+    // answer. Without this, one panicking seed aborts a whole campaign
+    // with no minimized reproducer.
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check_inner(case, cfg)));
+    match r {
+        Ok(Ok(v)) => v,
+        Ok(Err(msg)) => Verdict::Fail(msg),
+        Err(payload) => Verdict::Fail(format!("panicked: {}", panic_message(&payload))),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -1349,6 +1367,36 @@ mod tests {
                 f.source()
             );
         }
+    }
+
+    #[test]
+    fn panicking_case_is_a_shrinkable_failure() {
+        // Mismatched arities make the union law panic inside the library
+        // ("union: arity mismatch"). check() must catch the unwind and
+        // report a Fail like any other violation, and shrink() must be
+        // able to re-check candidates without aborting the campaign.
+        let form = |arity: u32| GenForm {
+            n_in: arity,
+            n_out: 0,
+            params: vec![],
+            conjs: vec![GenConj {
+                lo: vec![Some(0); arity as usize],
+                hi: vec![Some(3); arity as usize],
+                atoms: vec![],
+            }],
+        };
+        let case = Case {
+            law: "union",
+            inputs: vec![form(1), form(2)],
+        };
+        let cfg = OracleConfig::default();
+        let v = check(&case, &cfg);
+        match &v {
+            Verdict::Fail(msg) => assert!(msg.contains("panicked"), "got: {msg}"),
+            other => panic!("expected Fail, got {other:?}"),
+        }
+        let small = shrink(&case, &cfg);
+        assert!(matches!(check(&small, &cfg), Verdict::Fail(_)));
     }
 
     #[test]

@@ -660,10 +660,15 @@ impl Relation {
                 // Subsumption is only an optimization: when the negation
                 // shatters into too many pieces (stride-heavy conjuncts can
                 // produce thousands), checking them all costs far more than
-                // keeping the extra conjunct. Skip those pairs.
-                const MAX_NEG_PIECES: usize = 64;
+                // keeping the extra conjunct. Skip those pairs. The cap is
+                // per-context configurable via
+                // `Budget::subsume_negation_pieces` (default 64).
+                let max_neg_pieces = cx.map_or_else(
+                    || crate::Budget::default().subsume_negation_pieces,
+                    crate::Context::subsume_negation_pieces,
+                );
                 if let Ok(negs) = negate_conjunct_in(&self.conjuncts[j], cx) {
-                    if negs.len() > MAX_NEG_PIECES {
+                    if negs.len() > max_neg_pieces {
                         continue;
                     }
                     let ci = &self.conjuncts[i];
