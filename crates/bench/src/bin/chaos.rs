@@ -13,21 +13,20 @@
 //!    load per memoized operation, so this should be noise (< 2%).
 //!
 //! ```text
-//! chaos [--trials N] [--threads-list 1,2,...,8] [--json-out PATH]
+//! chaos [--trials N] [--threads-list 1,2,...,8] [--threads N]
+//!       [--deadline-ms N] [--trace-out PATH] [--json-out PATH]
 //! ```
 //!
-//! Writes a machine-readable `BENCH_robustness.json` snapshot.
+//! Accepts the shared harness flags (see `dhpf_bench::args`): `--threads N`
+//! is shorthand for a single-point `--threads-list N`, `--deadline-ms`
+//! adds a wall-clock budget to every campaign compilation (composing with
+//! the injected faults), and `--trace-out` records the campaign's compile
+//! spans. Writes a machine-readable `BENCH_robustness.json` snapshot.
 
+use dhpf_bench::args::{self, value as flag_value};
 use dhpf_core::{compile, CompileOptions};
 use dhpf_omega::{Budget, FaultAction, InjectPlan};
 use std::time::Instant;
-
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
 
 /// Minimum wall-clock seconds over `trials` compilations.
 fn min_secs(src: &str, opts: &CompileOptions, trials: usize) -> f64 {
@@ -44,18 +43,26 @@ fn min_secs(src: &str, opts: &CompileOptions, trials: usize) -> f64 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let trials: usize = flag(&args, "--trials")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3);
-    let threads_list: Vec<usize> = flag(&args, "--threads-list")
+    let argv: Vec<String> = std::env::args().collect();
+    let common = args::common(&argv);
+    let trials: usize = args::u64_value(&argv, "--trials").map_or(3, |n| n as usize);
+    // `--threads N` (the shared spelling) pins a single campaign point;
+    // `--threads-list` sweeps several.
+    let threads_list: Vec<usize> = flag_value(&argv, "--threads-list")
         .map(|v| {
             v.split(',')
                 .map(|x| x.parse().expect("thread count"))
                 .collect()
         })
-        .unwrap_or_else(|| (1..=8).collect());
-    let json_out = flag(&args, "--json-out").unwrap_or_else(|| "BENCH_robustness.json".to_string());
+        .unwrap_or_else(|| {
+            if common.threads > 1 {
+                vec![common.threads]
+            } else {
+                (1..=8).collect()
+            }
+        });
+    let json_out =
+        flag_value(&argv, "--json-out").unwrap_or_else(|| "BENCH_robustness.json".to_string());
 
     // ---- Experiment 1: injected campaign across thread counts --------
     let campaign_src =
@@ -73,7 +80,13 @@ fn main() {
             for (pi, &period) in [1u64, 5, 97].iter().enumerate() {
                 let seed = 0xC4A0_5000 + (threads as u64) * 64 + (ai as u64) * 8 + pi as u64;
                 let plan = InjectPlan::new(seed, period, action);
-                let opts = CompileOptions::new().threads(threads).inject(plan);
+                // Shared deadline/trace flags compose with the injected
+                // faults; the campaign's own thread sweep wins over
+                // `--threads`.
+                let opts = common
+                    .apply(CompileOptions::new())
+                    .threads(threads)
+                    .inject(plan);
                 match compile(&campaign_src, &opts) {
                     Ok(c) if c.report.degradations().is_empty() => exact += 1,
                     Ok(_) => degraded += 1,
@@ -130,4 +143,5 @@ fn main() {
     );
     std::fs::write(&json_out, json).expect("write snapshot");
     println!("snapshot written to {json_out}");
+    common.finish_trace(false);
 }

@@ -1,14 +1,19 @@
 //! Prints the Figure 7 reproduction.
 //!
-//! Pass `--trace-out <path>` (or set `DHPF_TRACE`) to dump compile +
-//! simulate spans with per-run message/byte counters.
-//! Pass `--threads N` to compile on the parallel driver (default 1,
-//! the serial pipeline; simulated speedups are unaffected).
+//! Accepts the shared harness flags (`--threads N`, `--deadline-ms N`,
+//! `--trace-out PATH`; see `dhpf_bench::args`). A positional argument
+//! like `1,2,4,8` overrides the simulated processor counts. The trace
+//! records compile + simulate spans with per-run message/byte counters;
+//! a deadline degrades the compilation gracefully without changing the
+//! simulated curves' shape.
+
+use dhpf_bench::args;
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let trace = dhpf_bench::traceopt::from_args_env(&args);
-    let threads = dhpf_bench::threads_from_args(&args);
-    let procs: Vec<i64> = args
+    let argv: Vec<String> = std::env::args().collect();
+    let common = args::common(&argv);
+    common.banner();
+    let procs: Vec<i64> = argv
         .get(1)
         .filter(|s| !s.starts_with("--"))
         .map(|s| {
@@ -17,19 +22,9 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(|| vec![1, 2, 4, 8, 16]);
-    let curves = dhpf_bench::figure7::run_traced_threads(
-        &procs,
-        trace.as_ref().map(|t| &t.collector),
-        threads,
-    );
+    let base = common.apply(dhpf_core::CompileOptions::new());
+    let curves =
+        dhpf_bench::figure7::run_opts(&procs, common.trace.as_ref().map(|t| &t.collector), &base);
     println!("{}", dhpf_bench::figure7::render(&curves));
-    if let Some(t) = &trace {
-        match t.write() {
-            Ok(_) => println!("trace written to {}", t.path.display()),
-            Err(e) => {
-                eprintln!("failed to write trace {}: {e}", t.path.display());
-                std::process::exit(1);
-            }
-        }
-    }
+    common.finish_trace(false);
 }

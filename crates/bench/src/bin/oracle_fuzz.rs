@@ -5,34 +5,36 @@
 //!
 //! ```text
 //! oracle_fuzz [--seed N] [--iters N] [--time-budget SECONDS]
-//!             [--max-failures N] [--threads N] [--verbose]
-//!             [--replay CASE_SEED]
+//!             [--deadline-ms N] [--max-failures N] [--threads N]
+//!             [--verbose] [--replay CASE_SEED]
 //! ```
 //!
-//! Exit status is non-zero when any law was violated, so CI can run this
-//! directly as a smoke job (`--seed 5 --iters 2000`).
+//! Accepts the shared harness flags (see `dhpf_bench::args`): `--threads`
+//! fans the campaign across worker threads, and `--deadline-ms` is the
+//! millisecond spelling of the campaign wall-clock budget (wins over
+//! `--time-budget` when both are given). Exit status is non-zero when any
+//! law was violated, so CI can run this directly as a smoke job
+//! (`--seed 5 --iters 2000`).
 
+use dhpf_bench::args::{self, u64_value};
 use dhpf_omega::oracle::{self, OracleConfig, Verdict};
 use std::time::Duration;
 
-fn parse_flag(args: &[String], name: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let seed = parse_flag(&args, "--seed").unwrap_or(5);
-    let iters = parse_flag(&args, "--iters").unwrap_or(2000);
-    let budget = parse_flag(&args, "--time-budget").map(Duration::from_secs);
-    let max_failures = parse_flag(&args, "--max-failures").unwrap_or(5) as usize;
-    let verbose = args.iter().any(|a| a == "--verbose");
-    let threads = dhpf_bench::threads_from_args(&args);
+    let argv: Vec<String> = std::env::args().collect();
+    let common = args::common(&argv);
+    let seed = u64_value(&argv, "--seed").unwrap_or(5);
+    let iters = u64_value(&argv, "--iters").unwrap_or(2000);
+    let budget = common
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or_else(|| u64_value(&argv, "--time-budget").map(Duration::from_secs));
+    let max_failures = u64_value(&argv, "--max-failures").unwrap_or(5) as usize;
+    let verbose = args::present(&argv, "--verbose");
+    let threads = common.threads;
     let cfg = OracleConfig::default();
 
-    if let Some(case_seed) = parse_flag(&args, "--replay") {
+    if let Some(case_seed) = u64_value(&argv, "--replay") {
         let (case, verdict) = oracle::run_seed(case_seed, &cfg);
         println!("law: {}", case.law);
         for (i, f) in case.inputs.iter().enumerate() {

@@ -1,0 +1,154 @@
+//! Warm-vs-cold serving benchmark: quantifies what `dhpf-serve`'s
+//! persistent context buys over one-shot compiler invocations.
+//!
+//! Two experiments, one snapshot (`BENCH_serve.json`):
+//!
+//! 1. **Warm vs cold** — each workload is compiled on a fresh context
+//!    (the cold path every batch invocation pays) and on a long-lived
+//!    context that already compiled it once (the daemon's steady state).
+//!    Reports min wall-clock per mode, the warm/cold ratio, and the memo
+//!    hits gained during the warm request.
+//! 2. **Dedup under fan-in** — a real in-process daemon receives N
+//!    simultaneous identical requests over TCP; reports how many
+//!    coalesced onto the leader's compilation.
+//!
+//! ```text
+//! serve_bench [--trials N] [--clients N] [--threads N] [--deadline-ms N]
+//!             [--json-out PATH]
+//! ```
+
+use dhpf_bench::args::{self, value as flag_value};
+use dhpf_core::{process_request, CompileOptions, CompileRequest};
+use dhpf_omega::Context;
+use dhpf_serve::{send_lines, Server};
+use std::fmt::Write as _;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+fn request(src: &str, opts: &CompileOptions) -> CompileRequest {
+    CompileRequest::new(src).options(opts.clone())
+}
+
+/// Min wall-clock seconds over `trials` runs of `f`.
+fn min_secs(trials: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let common = args::common(&argv);
+    let trials: usize = args::u64_value(&argv, "--trials").map_or(5, |n| n as usize);
+    let clients: usize = args::u64_value(&argv, "--clients").map_or(8, |n| n as usize);
+    let json_out =
+        flag_value(&argv, "--json-out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    common.banner();
+    let opts = common.apply(CompileOptions::new());
+
+    let spsym = dhpf_bench::sources::sp_symbolic();
+    let workloads: [(&str, &str); 4] = [
+        ("JACOBI", dhpf_bench::sources::JACOBI),
+        ("TOMCATV", dhpf_bench::sources::TOMCATV),
+        ("SP-4", dhpf_bench::sources::SP),
+        ("SP-sym", &spsym),
+    ];
+
+    // ---- Experiment 1: warm vs cold ----------------------------------
+    println!("warm vs cold ({trials} trials per point, min reported)\n");
+    println!(
+        "{:<10} {:>9} {:>9} {:>7} {:>12}",
+        "workload", "cold(ms)", "warm(ms)", "ratio", "warm hits"
+    );
+    let mut rows = Vec::new();
+    let mut worst_ratio = 0.0f64;
+    for (name, src) in workloads {
+        // Cold: a brand-new context per trial, exactly what a one-shot
+        // compiler process pays.
+        let cold = min_secs(trials, || {
+            let ctx = Context::new();
+            let resp = process_request(&ctx, &request(src, &opts));
+            assert!(resp.error.is_none(), "{name}: {:?}", resp.error);
+        });
+        // Warm: the daemon's steady state — one long-lived context that
+        // has already compiled this unit.
+        let ctx = Context::new();
+        let first = process_request(&ctx, &request(src, &opts));
+        assert!(first.error.is_none(), "{name}: {:?}", first.error);
+        let mut hits_delta = 0u64;
+        let warm = min_secs(trials, || {
+            let resp = process_request(&ctx, &request(src, &opts));
+            assert!(resp.error.is_none(), "{name}: {:?}", resp.error);
+            hits_delta = hits_delta.max(resp.cache_hits_delta);
+        });
+        let ratio = warm / cold;
+        worst_ratio = worst_ratio.max(ratio);
+        println!(
+            "{name:<10} {:>9.2} {:>9.2} {ratio:>7.3} {hits_delta:>12}",
+            cold * 1e3,
+            warm * 1e3
+        );
+        rows.push(format!(
+            "    {{\"workload\": \"{name}\", \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \
+             \"warm_over_cold\": {ratio:.4}, \"warm_hits_delta\": {hits_delta}}}",
+            cold * 1e3,
+            warm * 1e3
+        ));
+    }
+
+    // ---- Experiment 2: dedup under fan-in ----------------------------
+    let server = Server::bind("127.0.0.1:0", dhpf_omega::DEFAULT_CACHE_CAP).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle().expect("handle");
+    let serve_thread = std::thread::spawn(move || server.serve());
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"op\":\"compile\",\"id\":\"fanin\",\"source\":{}}}",
+        dhpf_obs::json::escape(dhpf_bench::sources::TOMCATV)
+    );
+    let barrier = Arc::new(Barrier::new(clients));
+    let t0 = Instant::now();
+    let fanin: Vec<_> = (0..clients)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let line = line.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                send_lines(addr, &[line]).expect("send")
+            })
+        })
+        .collect();
+    let mut coalesced = 0u64;
+    for t in fanin {
+        let replies = t.join().expect("client");
+        if replies[0].contains("\"coalesced\":true") {
+            coalesced += 1;
+        }
+    }
+    let fanin_secs = t0.elapsed().as_secs_f64();
+    handle.shutdown();
+    let _ = serve_thread.join();
+    println!(
+        "\nfan-in: {clients} simultaneous identical requests -> {coalesced} coalesced \
+         ({} compilations) in {:.1} ms",
+        clients as u64 - coalesced,
+        fanin_secs * 1e3
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve-warm-vs-cold\",\n  \"trials\": {trials},\n  \
+         \"workloads\": [\n{}\n  ],\n  \"worst_warm_over_cold\": {worst_ratio:.4},\n  \
+         \"fan_in\": {{\"clients\": {clients}, \"coalesced\": {coalesced}, \
+         \"wall_ms\": {:.3}}}\n}}\n",
+        rows.join(",\n"),
+        fanin_secs * 1e3
+    );
+    std::fs::write(&json_out, json).expect("write snapshot");
+    println!("snapshot written to {json_out}");
+    common.finish_trace(false);
+}

@@ -1,61 +1,34 @@
 //! Prints the Table 1 reproduction.
 //!
-//! Pass `--no-cache` to disable the shared Omega context (hash-consing +
-//! memoized simplification) and reproduce the uncached compile times.
-//! Pass `--trace-out <path>` (or set `DHPF_TRACE`) to dump the structured
-//! compile trace: `.jsonl` for JSON lines, anything else for Chrome
-//! `trace_event` JSON.
-//! Pass `--threads N` to compile on the parallel driver (default 1,
-//! the serial pipeline; output is bit-identical either way).
-//! Pass `--deadline-ms N` to compile under a wall-clock budget: when the
+//! Accepts the shared harness flags (`--threads N`, `--deadline-ms N`,
+//! `--trace-out PATH`; see `dhpf_bench::args`) plus `--no-cache` to
+//! disable the shared Omega context (hash-consing + memoized
+//! simplification) and reproduce the uncached compile times. When the
 //! deadline trips, affected nests degrade to conservative (but correct)
 //! communication instead of crashing, and the table gains a "graceful
 //! degradations" section listing what was given up and why.
+
+use dhpf_bench::args;
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let use_cache = !args.iter().any(|a| a == "--no-cache");
-    let threads = dhpf_bench::threads_from_args(&args);
-    let deadline_ms: Option<u64> = args
-        .iter()
-        .position(|a| a == "--deadline-ms")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().expect("--deadline-ms takes milliseconds"));
-    let trace = dhpf_bench::traceopt::from_args_env(&args);
+    let argv: Vec<String> = std::env::args().collect();
+    let common = args::common(&argv);
+    let use_cache = !args::present(&argv, "--no-cache");
     if !use_cache {
         println!("(omega context cache disabled via --no-cache)\n");
     }
-    if threads > 1 {
-        println!("(parallel driver: --threads {threads})\n");
-    }
-    if let Some(ms) = deadline_ms {
-        println!("(compile deadline: --deadline-ms {ms})\n");
-    }
-    let table = match (&trace, deadline_ms) {
-        (Some(t), None) => dhpf_bench::table1::run_traced_threads(use_cache, &t.collector, threads),
-        (trace, deadline) => {
-            let mut opts = dhpf_core::CompileOptions::new()
-                .cache(use_cache)
-                .threads(threads);
-            if let Some(ms) = deadline {
-                opts = opts.deadline_ms(ms);
-            }
-            if let Some(t) = trace {
-                opts = opts.trace(t.collector.clone());
-            }
+    common.banner();
+    // The traced run without a deadline keeps the multi-trial timing path
+    // (`run_traced_threads` records one trial per variant).
+    let table = match (&common.trace, common.deadline_ms) {
+        (Some(t), None) => {
+            dhpf_bench::table1::run_traced_threads(use_cache, &t.collector, common.threads)
+        }
+        _ => {
+            let opts = common.apply(dhpf_core::CompileOptions::new().cache(use_cache));
             dhpf_bench::table1::run_opts(&opts)
         }
     };
     println!("{table}");
-    if let Some(t) = &trace {
-        match t.write() {
-            Ok(tree) => {
-                println!("{tree}");
-                println!("trace written to {}", t.path.display());
-            }
-            Err(e) => {
-                eprintln!("failed to write trace {}: {e}", t.path.display());
-                std::process::exit(1);
-            }
-        }
-    }
+    common.finish_trace(true);
 }

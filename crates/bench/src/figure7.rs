@@ -70,12 +70,34 @@ pub fn curve_with(
     trace: Option<&Collector>,
     threads: usize,
 ) -> Curve {
+    let base = CompileOptions::new().threads(threads);
+    curve_opts(bench, src, size_label, size, inputs, procs, trace, &base)
+}
+
+/// [`curve_with`] with fully explicit base [`CompileOptions`] (threads,
+/// deadline, …); the trace collector is still attached here so compile
+/// and simulate spans share one collector.
+///
+/// # Panics
+///
+/// Panics if compilation or simulation fails (harness inputs are fixed).
+#[allow(clippy::too_many_arguments)]
+pub fn curve_opts(
+    bench: &str,
+    src: &str,
+    size_label: &str,
+    size: Option<(&str, &str)>,
+    inputs: &[(&str, i64)],
+    procs: &[i64],
+    trace: Option<&Collector>,
+    base: &CompileOptions,
+) -> Curve {
     let src = match size {
         Some((from, to)) => src.replace(from, to),
         None => src.to_string(),
     };
     let span = trace.map(|c| (c, c.begin(&format!("{bench} ({size_label})"), "figure7")));
-    let mut opts = CompileOptions::new().threads(threads);
+    let mut opts = base.clone();
     if let Some(c) = trace {
         opts = opts.trace(c.clone());
     }
@@ -133,8 +155,15 @@ pub fn run_traced(procs: &[i64], trace: Option<&Collector>) -> Vec<Curve> {
 /// [`run_traced`] compiling on the parallel driver (`--threads N`);
 /// `threads = 1` is the serial pipeline. Simulation is unaffected.
 pub fn run_traced_threads(procs: &[i64], trace: Option<&Collector>, threads: usize) -> Vec<Curve> {
+    run_opts(procs, trace, &CompileOptions::new().threads(threads))
+}
+
+/// [`run_traced_threads`] with fully explicit base [`CompileOptions`] —
+/// e.g. a compile deadline (`--deadline-ms`), whose trips degrade the
+/// compilation gracefully without changing the simulated curves' shape.
+pub fn run_opts(procs: &[i64], trace: Option<&Collector>, base: &CompileOptions) -> Vec<Curve> {
     vec![
-        curve_with(
+        curve_opts(
             "TOMCATV",
             crate::sources::TOMCATV,
             "129x129",
@@ -142,9 +171,9 @@ pub fn run_traced_threads(procs: &[i64], trace: Option<&Collector>, threads: usi
             &[("niter", 3)],
             procs,
             trace,
-            threads,
+            base,
         ),
-        curve_with(
+        curve_opts(
             "TOMCATV",
             crate::sources::TOMCATV,
             "257x257",
@@ -152,9 +181,9 @@ pub fn run_traced_threads(procs: &[i64], trace: Option<&Collector>, threads: usi
             &[("niter", 3)],
             procs,
             trace,
-            threads,
+            base,
         ),
-        curve_with(
+        curve_opts(
             "ERLEBACHER",
             crate::sources::ERLEBACHER,
             "32^3",
@@ -162,9 +191,9 @@ pub fn run_traced_threads(procs: &[i64], trace: Option<&Collector>, threads: usi
             &[],
             procs,
             trace,
-            threads,
+            base,
         ),
-        curve_with(
+        curve_opts(
             "ERLEBACHER",
             crate::sources::ERLEBACHER,
             "64^3",
@@ -172,9 +201,9 @@ pub fn run_traced_threads(procs: &[i64], trace: Option<&Collector>, threads: usi
             &[],
             procs,
             trace,
-            threads,
+            base,
         ),
-        curve_with(
+        curve_opts(
             "JACOBI",
             crate::sources::JACOBI,
             "128x128",
@@ -182,9 +211,9 @@ pub fn run_traced_threads(procs: &[i64], trace: Option<&Collector>, threads: usi
             &[("niter", 3)],
             procs,
             trace,
-            threads,
+            base,
         ),
-        curve_with(
+        curve_opts(
             "JACOBI",
             crate::sources::JACOBI,
             "256x256",
@@ -192,7 +221,7 @@ pub fn run_traced_threads(procs: &[i64], trace: Option<&Collector>, threads: usi
             &[("niter", 3)],
             procs,
             trace,
-            threads,
+            base,
         ),
     ]
 }

@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod figure7;
 pub mod table1;
 pub mod timing;
@@ -17,6 +18,7 @@ pub mod traceopt;
 
 /// Parses `--threads N` from CLI args (compilation driver thread count).
 /// Absent, malformed, or zero values fall back to 1 (the serial pipeline).
+#[deprecated(note = "use args::common / args::u64_value")]
 #[must_use]
 pub fn threads_from_args(args: &[String]) -> usize {
     args.iter()

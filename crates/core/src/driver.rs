@@ -18,8 +18,11 @@ use crate::spmd::{
 };
 use dhpf_hpf::{analyze, parse, Analysis};
 use dhpf_obs::Collector;
-use dhpf_omega::{Budget, CacheStats, CancelToken, Context, GovernorStats, InjectPlan};
+use dhpf_omega::{
+    Budget, CacheStats, CancelToken, Context, ErrorCode, GovernorStats, InjectPlan, RequestGovernor,
+};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Options controlling compilation.
 ///
@@ -187,6 +190,189 @@ impl CompileReport {
     }
 }
 
+/// Artifacts a [`CompileRequest`] wants back beyond the report: each flag
+/// adds an optional field to the [`CompileResponse`], and nothing is
+/// rendered unless asked for (a serving tier shouldn't pay to pretty-print
+/// code the client will discard).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Artifacts {
+    /// Render the compiled SPMD program as a code listing
+    /// ([`CompileResponse::code`]).
+    pub code: bool,
+    /// Include per-phase timing rows ([`CompileResponse::timing`]).
+    pub timing: bool,
+}
+
+/// One compilation request: the unit of work of the `dhpf-serve` protocol
+/// and the value [`compile`] / [`compile_with`] are thin wrappers over.
+///
+/// ```
+/// use dhpf_core::{process_request, CompileRequest};
+/// use dhpf_omega::Context;
+///
+/// let ctx = Context::new();
+/// let req = CompileRequest::new("program p\nreal a(8)\na(1) = 0.0\nend\n").code(true);
+/// let resp = process_request(&ctx, &req);
+/// assert!(resp.error.is_none());
+/// assert!(resp.code.is_some());
+/// ```
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct CompileRequest {
+    /// The HPF source text to compile.
+    pub source: String,
+    /// Compilation options (threads, budget, cancellation, tracing, …).
+    pub options: CompileOptions,
+    /// Which optional artifacts to materialize in the response.
+    pub artifacts: Artifacts,
+}
+
+impl CompileRequest {
+    /// A request with default options and no optional artifacts.
+    pub fn new(source: impl Into<String>) -> Self {
+        CompileRequest {
+            source: source.into(),
+            options: CompileOptions::default(),
+            artifacts: Artifacts::default(),
+        }
+    }
+
+    /// Replaces the compilation options.
+    #[must_use]
+    pub fn options(mut self, opts: CompileOptions) -> Self {
+        self.options = opts;
+        self
+    }
+
+    /// Requests (or drops) the rendered code listing.
+    #[must_use]
+    pub fn code(mut self, on: bool) -> Self {
+        self.artifacts.code = on;
+        self
+    }
+
+    /// Requests (or drops) the per-phase timing rows.
+    #[must_use]
+    pub fn timing(mut self, on: bool) -> Self {
+        self.artifacts.timing = on;
+        self
+    }
+}
+
+/// A typed, wire-serializable error: the stable [`ErrorCode`] plus the
+/// human-readable message. What [`CompileResponse`] carries instead of a
+/// `CompileError`, and what `dhpf-serve` puts on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// The stable machine-readable code (assert on this, not `message`).
+    pub code: ErrorCode,
+    /// Human-readable detail for logs and interactive clients.
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// The flattened, wire-shaped result of one [`CompileRequest`]: everything
+/// a serving client needs, with no internal compiler types that cannot
+/// round-trip a protocol boundary. Produced by [`process_request`].
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct CompileResponse {
+    /// `None` on success; the typed failure otherwise. All count fields
+    /// are zero on error.
+    pub error: Option<WireError>,
+    /// Program units compiled.
+    pub units: usize,
+    /// Communication events synthesized for the main unit.
+    pub comm_events: usize,
+    /// Graceful degradations taken, in serial nest order (empty = exact).
+    pub degradations: Vec<crate::spmd::Degradation>,
+    /// *Cumulative* cache counters of the serving context after this
+    /// request (a long-lived context accumulates across requests).
+    pub cache: CacheStats,
+    /// Memo-cache hits gained during this request alone — nonzero on a
+    /// warm repeat even when the cumulative totals dwarf it.
+    pub cache_hits_delta: u64,
+    /// Governor counters observed by this request (zeros when ungoverned
+    /// or failed before synthesis).
+    pub governor: GovernorStats,
+    /// Wall-clock time spent compiling, in milliseconds.
+    pub compile_ms: u64,
+    /// Rendered SPMD code listing ([`Artifacts::code`]).
+    pub code: Option<String>,
+    /// Per-phase rows as `(name, milliseconds)` ([`Artifacts::timing`]).
+    pub timing: Option<Vec<(String, f64)>>,
+}
+
+/// Compiles one [`CompileRequest`] on a shared context, returning the full
+/// [`Compiled`] value (program + analysis + report). This is the typed
+/// core the thin wrappers delegate to; use [`process_request`] for the
+/// wire-shaped response.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for frontend, semantic, or synthesis failures.
+pub fn compile_request(ctx: &Context, req: &CompileRequest) -> Result<Compiled, CompileError> {
+    compile_impl(ctx, &req.source, &req.options)
+}
+
+/// Runs one request end to end and flattens the outcome into a
+/// [`CompileResponse`]: errors become [`WireError`]s (never `Err`), cache
+/// deltas are measured around the compilation, and optional artifacts are
+/// rendered only when requested.
+pub fn process_request(ctx: &Context, req: &CompileRequest) -> CompileResponse {
+    let before_hits = ctx.stats().total_hits();
+    let t0 = Instant::now();
+    let result = compile_request(ctx, req);
+    let compile_ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let cache = ctx.stats();
+    let cache_hits_delta = cache.total_hits().saturating_sub(before_hits);
+    match result {
+        Ok(c) => CompileResponse {
+            error: None,
+            units: c.report.units,
+            comm_events: c.report.stats.comm_events,
+            degradations: c.report.stats.degradations.clone(),
+            cache,
+            cache_hits_delta,
+            governor: c.report.governor,
+            compile_ms,
+            code: req
+                .artifacts
+                .code
+                .then(|| crate::render::render_program(&c.program)),
+            timing: req.artifacts.timing.then(|| {
+                c.report
+                    .timers
+                    .rows()
+                    .into_iter()
+                    .map(|(name, d, _)| (name, d.as_secs_f64() * 1e3))
+                    .collect()
+            }),
+        },
+        Err(e) => CompileResponse {
+            error: Some(WireError {
+                code: e.code(),
+                message: e.to_string(),
+            }),
+            units: 0,
+            comm_events: 0,
+            degradations: Vec::new(),
+            cache,
+            cache_hits_delta,
+            governor: GovernorStats::default(),
+            compile_ms,
+            code: None,
+            timing: None,
+        },
+    }
+}
+
 /// Compiles HPF source text into an SPMD program.
 ///
 /// Multi-unit files are supported: every unit is analyzed (the paper's
@@ -204,7 +390,7 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileErro
     } else {
         Context::disabled()
     };
-    compile_impl(&ctx, src, opts)
+    compile_request(&ctx, &CompileRequest::new(src).options(opts.clone()))
 }
 
 /// Compiles with a caller-provided Omega [`Context`], so one long-lived
@@ -222,17 +408,26 @@ pub fn compile_with(
     src: &str,
     opts: &CompileOptions,
 ) -> Result<Compiled, CompileError> {
-    compile_impl(ctx, src, opts)
+    compile_request(ctx, &CompileRequest::new(src).options(opts.clone()))
 }
 
 fn compile_impl(ctx: &Context, src: &str, opts: &CompileOptions) -> Result<Compiled, CompileError> {
     ctx.set_collector(opts.trace.clone());
-    // Arm the governor only when the options ask for it, so `compile_with`
-    // callers who armed the shared context themselves are not clobbered.
-    let governed = !opts.budget.is_unlimited() || opts.cancel.is_some() || opts.inject.is_some();
-    if governed {
-        ctx.set_budget(&opts.budget);
-        ctx.set_cancel_token(opts.cancel.clone());
+    // Budget and cancellation are enforced by a *request-scoped* governor
+    // armed on this thread (and re-armed on every worker thread), not by
+    // arming the shared context: a long-lived serving context compiles
+    // many concurrent requests, and a context-global deadline would let
+    // one slow client trip every in-flight compilation. Fault injection
+    // stays context-global — chaos harnesses own their context.
+    let governed =
+        opts.budget != Budget::default() || opts.cancel.is_some() || opts.inject.is_some();
+    let scoped = if opts.budget != Budget::default() || opts.cancel.is_some() {
+        Some(RequestGovernor::new(&opts.budget, opts.cancel.clone()))
+    } else {
+        None
+    };
+    let _armed = scoped.as_ref().map(RequestGovernor::arm_on_thread);
+    if opts.inject.is_some() {
         ctx.set_inject(opts.inject.clone());
     }
     // The isolation boundary: a panic anywhere in the pipeline (organic or
@@ -244,12 +439,12 @@ fn compile_impl(ctx: &Context, src: &str, opts: &CompileOptions) -> Result<Compi
     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         compile_inner(ctx, src, opts)
     }));
-    // Read the governed abort state before disarming (clear_budget resets
-    // it): a failure that unwound while cancellation was requested or the
-    // budget was tripped is downstream of that abort, not an independent
-    // compiler bug. Some infallible set-algebra entry points (`domain`,
-    // `then`, projection) surface a governed abort by panicking — the
-    // contained panic is translated back to its typed error here.
+    // Read the governed abort state while the scoped governor is still
+    // armed: a failure that unwound while cancellation was requested or
+    // the budget was tripped is downstream of that abort, not an
+    // independent compiler bug. Some infallible set-algebra entry points
+    // (`domain`, `then`, projection) surface a governed abort by panicking
+    // — the contained panic is translated back to its typed error here.
     let aborted = if governed {
         if opts
             .cancel
@@ -263,11 +458,9 @@ fn compile_impl(ctx: &Context, src: &str, opts: &CompileOptions) -> Result<Compi
     } else {
         None
     };
-    // Always disarm/detach: with `compile_with` the context outlives this
-    // call (and `Budget::default()` restores the stock piece caps).
-    if governed {
-        ctx.clear_budget();
-        ctx.set_cancel_token(None);
+    // Disarm: the scoped governor dies with its guard; injection is the
+    // one context-global knob this function arms.
+    if opts.inject.is_some() {
         ctx.set_inject(None);
     }
     ctx.set_collector(None);
@@ -448,6 +641,10 @@ fn compile_units_parallel(
     }
     // Stitch worker spans under the open "module compilation" phase span.
     let anchor = t.collector().cloned().zip(t.current_span());
+    // Capture the caller's request governor so each pool task re-arms it:
+    // worker threads then spend from the same fuel pool and observe the
+    // same deadline/cancellation as the submitting thread.
+    let governor = RequestGovernor::current();
     type UnitResult = Result<(SpmdProgram, SpmdStats), CompileError>;
     let nest_slots: Vec<Mutex<Option<Result<NestOut, CompileError>>>> =
         (0..n_nests).map(|_| Mutex::new(None)).collect();
@@ -456,6 +653,7 @@ fn compile_units_parallel(
     let unit_timers: Vec<Mutex<Vec<PhaseTimers>>> =
         planned.iter().map(|_| Mutex::new(Vec::new())).collect();
     let panics = crate::parallel::run_dag(threads, &deps, |task| {
+        let _gov = governor.as_ref().map(RequestGovernor::arm_on_thread);
         if task < n_nests {
             let (unit, nest) = nest_tasks[task];
             let plan = unit_plans[unit].as_ref().expect("nest tasks are planned");

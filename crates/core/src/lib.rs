@@ -5,6 +5,27 @@
 //! (Figure 3), loop splitting (Figure 4), in-place communication
 //! recognition (§3.3), the optimized virtual-processor model for symbolic
 //! distribution parameters (§4, Figure 5), and SPMD program synthesis.
+//!
+//! ## API layers
+//!
+//! The crate root re-exports the **stable compile surface** — request and
+//! response types, the compile entry points, and the error/report types a
+//! serving tier needs (everything `dhpf-serve` depends on). Analysis
+//! internals (communication sets, computation partitionings, loop
+//! splitting, the SPMD item tree) remain available through their modules
+//! ([`comm`], [`cp`], [`split`], [`spmd`], …) for the simulator, the
+//! benches, and tests, but are *not* part of the stable surface. Glob the
+//! common subset with [`prelude`]:
+//!
+//! ```
+//! use dhpf_core::prelude::*;
+//!
+//! let resp = process_request(
+//!     &dhpf_omega::Context::new(),
+//!     &CompileRequest::new("program p\nreal a(8)\na(1) = 0.0\nend\n"),
+//! );
+//! assert!(resp.error.is_none());
+//! ```
 
 #![warn(missing_docs)]
 
@@ -18,6 +39,7 @@ pub mod layout;
 mod parallel;
 pub mod phases;
 pub mod probes;
+pub mod render;
 pub mod split;
 pub mod spmd;
 pub mod vp;
@@ -25,14 +47,39 @@ pub mod vp;
 pub use comm::{comm_sets, conservative_comm_sets, CommRef, CommSets};
 pub use cp::{cp_map, cp_map_at_level, myid_set};
 pub use dependence::{carried_level, carried_level_in, placement_level, placement_level_in};
-pub use driver::{compile, compile_with, CompileOptions, CompileReport, Compiled};
+pub use driver::{
+    compile, compile_request, compile_with, process_request, Artifacts, CompileOptions,
+    CompileReport, CompileRequest, CompileResponse, Compiled, WireError,
+};
 pub use inplace::{contiguity, Contiguity, RuntimeCheck};
 pub use ir::{collect_statements, ArrayRef, LoopContext, ReduceOp, Reduction, StmtInfo};
 pub use layout::{build_layouts, build_layouts_in, Layout, ProcCoord};
 pub use phases::{PhaseRow, PhaseTimers};
+pub use render::render_program;
 pub use split::{split_sets, SplitSets};
-pub use spmd::{
-    build_spmd, CommEvent, CompileError, CompiledStmt, Degradation, NestItem, NestOp, SpmdItem,
-    SpmdOptions, SpmdProgram, SpmdStats,
-};
+// The stable slice of `spmd`: the error type, the degradation record, and
+// the compiled-program value callers hold. Synthesis internals (the item
+// tree, nest ops, `build_spmd`) live behind `dhpf_core::spmd::` — they are
+// interpreter/test surface, not serving surface.
+pub use spmd::{CompileError, Degradation, SpmdOptions, SpmdProgram, SpmdStats};
 pub use vp::{active_vp_sets, ActiveVpSets};
+
+/// The curated stable surface in one import: everything a caller needs to
+/// submit compilations and consume results, and nothing that reaches into
+/// synthesis internals.
+///
+/// ```
+/// use dhpf_core::prelude::*;
+/// let opts = CompileOptions::new().threads(2);
+/// let compiled = compile("program p\nreal a(8)\na(1) = 0.0\nend\n", &opts);
+/// assert!(compiled.is_ok());
+/// ```
+pub mod prelude {
+    pub use crate::driver::{
+        compile, compile_request, compile_with, process_request, Artifacts, CompileOptions,
+        CompileReport, CompileRequest, CompileResponse, Compiled, WireError,
+    };
+    pub use crate::render::render_program;
+    pub use crate::spmd::{CompileError, Degradation, SpmdProgram, SpmdStats};
+    pub use dhpf_omega::{Budget, CancelToken, Context, ErrorCode, GovernorStats};
+}

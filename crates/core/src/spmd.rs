@@ -56,6 +56,23 @@ impl fmt::Display for CompileError {
     }
 }
 
+impl CompileError {
+    /// The stable machine-readable [`ErrorCode`](dhpf_omega::ErrorCode) of
+    /// this error — the code `dhpf-serve` serializes and tests assert on,
+    /// shared with [`OmegaError::code`](dhpf_omega::OmegaError::code).
+    pub fn code(&self) -> dhpf_omega::ErrorCode {
+        match self {
+            CompileError::Frontend(_) => dhpf_omega::ErrorCode::Frontend,
+            CompileError::Unsupported(_) => dhpf_omega::ErrorCode::Unsupported,
+            CompileError::Codegen(_) => dhpf_omega::ErrorCode::Codegen,
+            CompileError::SetAlgebra(e) => e.code(),
+            CompileError::Budget(_) => dhpf_omega::ErrorCode::Budget,
+            CompileError::Cancelled => dhpf_omega::ErrorCode::Cancelled,
+            CompileError::Internal(_) => dhpf_omega::ErrorCode::Internal,
+        }
+    }
+}
+
 impl std::error::Error for CompileError {}
 
 impl From<dhpf_hpf::HpfError> for CompileError {

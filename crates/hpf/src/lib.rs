@@ -46,4 +46,4 @@ pub use sema::{
     ScalarInfo, ScalarKind, TemplateInfo,
 };
 pub use token::Span;
-pub use unparse::{expr_str, unparse, unparse_unit};
+pub use unparse::{expr_str, stmt_str, unparse, unparse_unit};

@@ -65,6 +65,15 @@ pub fn unparse_unit(unit: &Unit, out: &mut String) {
     let _ = writeln!(out, "end");
 }
 
+/// Renders a single statement (at the given indent depth, two spaces per
+/// level) — for downstream renderers that interleave source statements
+/// with generated SPMD constructs.
+pub fn stmt_str(s: &Stmt, depth: usize) -> String {
+    let mut out = String::new();
+    unparse_stmt(s, depth, &mut out);
+    out
+}
+
 fn indent(out: &mut String, depth: usize) {
     for _ in 0..depth {
         out.push_str("  ");

@@ -15,8 +15,11 @@
 //! conservative communication), while cancellation means "the caller no
 //! longer wants any answer" (the driver aborts).
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use crate::OmegaError;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Resource limits for one compilation. All fields default to the
 /// historical hard-coded behaviour: no deadline, no fuel cap, and the
@@ -130,6 +133,248 @@ impl CancelToken {
     /// True once [`cancel`](Self::cancel) has been called.
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Process-wide monotonic anchor for deadline arithmetic: deadlines are
+/// stored as microseconds-since-anchor in one `AtomicU64`, so the per-op
+/// check is a clock read and a compare — no lock, no `Instant` in shared
+/// state.
+pub(crate) fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since [`anchor`], saturating.
+pub(crate) fn now_us() -> u64 {
+    u64::try_from(anchor().elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Trip-reason codes (0 = not tripped), shared with the context governor.
+pub(crate) const TRIP_DEADLINE: u8 = 1;
+pub(crate) const TRIP_FUEL: u8 = 2;
+pub(crate) const TRIP_INJECTED: u8 = 3;
+
+pub(crate) fn trip_reason(code: u8) -> Option<&'static str> {
+    match code {
+        TRIP_DEADLINE => Some("deadline"),
+        TRIP_FUEL => Some("op fuel"),
+        TRIP_INJECTED => Some("injected"),
+        _ => None,
+    }
+}
+
+struct GovernorInner {
+    /// Remaining op fuel; `u64::MAX` = unlimited. Shared atomically so the
+    /// parallel driver's worker threads spend from one pool.
+    fuel: AtomicU64,
+    /// Deadline in microseconds since [`anchor`]; `u64::MAX` = none.
+    deadline_us: u64,
+    cancel: Option<CancelToken>,
+    tripped: AtomicBool,
+    trip_code: AtomicU8,
+    charged: AtomicU64,
+    degraded: AtomicU64,
+    /// Exactness limits carried by the request's [`Budget`].
+    max_negation_pieces: usize,
+    subsume_negation_pieces: usize,
+    stride_fuel: u32,
+    /// True when the exactness limits differ from [`Budget::default`]:
+    /// memoized results then bypass the shared cache entirely, because an
+    /// entry computed under tighter (or looser) limits is not
+    /// interchangeable with one computed under the defaults.
+    non_default_limits: bool,
+}
+
+/// A **per-request** governor: the same deadline/fuel/cancellation
+/// enforcement as [`Context::set_budget`](crate::Context::set_budget), but
+/// scoped to the requesting thread (and any worker threads that re-arm it)
+/// instead of the whole shared context.
+///
+/// This is what lets a long-lived serving context compile many concurrent
+/// requests, each under its *own* budget: arming a budget context-wide
+/// would let one slow client's deadline trip every in-flight compilation.
+/// The governor is `Arc`-shared — clone it into worker tasks and call
+/// [`arm_on_thread`](Self::arm_on_thread) there so every thread working on
+/// the request spends from one fuel pool and observes one deadline.
+///
+/// The `dhpf-core` driver arms one automatically whenever
+/// `CompileOptions` carries a budget or cancel token; context-global
+/// arming via `set_budget` remains available for callers that own their
+/// context exclusively.
+#[derive(Clone)]
+pub struct RequestGovernor {
+    inner: Arc<GovernorInner>,
+}
+
+impl std::fmt::Debug for RequestGovernor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestGovernor")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+thread_local! {
+    /// The request governor armed on the current thread, if any. A fast
+    /// boolean gate keeps the unarmed `charge` path to one thread-local
+    /// read.
+    static REQ_GOV: RefCell<Option<RequestGovernor>> = const { RefCell::new(None) };
+    static REQ_GOV_ARMED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True if a request governor is armed on the current thread.
+pub(crate) fn request_governor_armed() -> bool {
+    REQ_GOV_ARMED.with(Cell::get)
+}
+
+/// The request governor armed on the current thread, if any.
+pub(crate) fn current_request_governor() -> Option<RequestGovernor> {
+    if !request_governor_armed() {
+        return None;
+    }
+    REQ_GOV.with(|g| g.borrow().clone())
+}
+
+impl RequestGovernor {
+    /// A governor enforcing `budget` (deadline measured from now) and, if
+    /// given, `cancel`.
+    pub fn new(budget: &Budget, cancel: Option<CancelToken>) -> Self {
+        let d = Budget::default();
+        let non_default_limits = budget.max_negation_pieces != d.max_negation_pieces
+            || budget.subsume_negation_pieces != d.subsume_negation_pieces
+            || budget.stride_fuel != d.stride_fuel;
+        let deadline_us = budget.deadline_ms.map_or(u64::MAX, |ms| {
+            let at = anchor().elapsed() + Duration::from_millis(ms);
+            u64::try_from(at.as_micros()).unwrap_or(u64::MAX)
+        });
+        RequestGovernor {
+            inner: Arc::new(GovernorInner {
+                fuel: AtomicU64::new(budget.op_fuel.unwrap_or(u64::MAX)),
+                deadline_us,
+                cancel,
+                tripped: AtomicBool::new(false),
+                trip_code: AtomicU8::new(0),
+                charged: AtomicU64::new(0),
+                degraded: AtomicU64::new(0),
+                max_negation_pieces: budget.max_negation_pieces,
+                subsume_negation_pieces: budget.subsume_negation_pieces,
+                stride_fuel: budget.stride_fuel,
+                non_default_limits,
+            }),
+        }
+    }
+
+    /// The governor armed on the calling thread, if any. A worker pool
+    /// captures this on the submitting thread and re-arms it (via
+    /// [`arm_on_thread`](Self::arm_on_thread)) on each pool thread, so
+    /// every task of a request runs under that request's budget.
+    pub fn current() -> Option<RequestGovernor> {
+        current_request_governor()
+    }
+
+    /// Arms this governor on the current thread until the guard drops.
+    /// Nested arming restores the previous governor on drop, so scopes
+    /// compose; the same governor may be armed on many threads at once
+    /// (they share fuel, deadline, and counters).
+    #[must_use = "enforcement stops when the guard drops"]
+    pub fn arm_on_thread(&self) -> RequestGovernorGuard {
+        let prev = REQ_GOV.with(|g| g.borrow_mut().replace(self.clone()));
+        REQ_GOV_ARMED.with(|a| a.set(true));
+        RequestGovernorGuard { prev }
+    }
+
+    /// Charges one governed operation. Mirrors the context-global
+    /// governor: cancellation always aborts; a grace scope (see
+    /// [`governor_grace`](crate::governor_grace)) suspends budget
+    /// enforcement; otherwise fuel is spent and the deadline checked, and
+    /// once tripped every further charge is refused with the trip reason.
+    pub(crate) fn charge(&self, in_grace: bool) -> Result<(), OmegaError> {
+        let i = &self.inner;
+        if i.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Err(OmegaError::Cancelled);
+        }
+        if in_grace {
+            return Ok(());
+        }
+        i.charged.fetch_add(1, Ordering::Relaxed);
+        if !i.tripped.load(Ordering::Relaxed) {
+            let fuel = i.fuel.load(Ordering::Relaxed);
+            if fuel != u64::MAX {
+                let spent = i
+                    .fuel
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |f| f.checked_sub(1));
+                if spent.is_err() {
+                    self.trip(TRIP_FUEL);
+                }
+            }
+            if i.deadline_us != u64::MAX && now_us() > i.deadline_us {
+                self.trip(TRIP_DEADLINE);
+            }
+        }
+        if i.tripped.load(Ordering::Relaxed) {
+            i.degraded.fetch_add(1, Ordering::Relaxed);
+            let reason = trip_reason(i.trip_code.load(Ordering::Relaxed)).unwrap_or("budget");
+            return Err(OmegaError::BudgetExceeded(reason));
+        }
+        Ok(())
+    }
+
+    fn trip(&self, code: u8) {
+        let _ =
+            self.inner
+                .trip_code
+                .compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed);
+        self.inner.tripped.store(true, Ordering::Relaxed);
+    }
+
+    /// The armed cancel token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.inner.cancel.as_ref()
+    }
+
+    /// True once the deadline passed or the fuel ran out.
+    pub fn tripped(&self) -> bool {
+        self.inner.tripped.load(Ordering::Relaxed)
+    }
+
+    /// This governor's counters and trip reason.
+    pub fn stats(&self) -> GovernorStats {
+        GovernorStats {
+            ops_charged: self.inner.charged.load(Ordering::Relaxed),
+            ops_degraded: self.inner.degraded.load(Ordering::Relaxed),
+            tripped: trip_reason(self.inner.trip_code.load(Ordering::Relaxed)),
+        }
+    }
+
+    pub(crate) fn max_negation_pieces(&self) -> usize {
+        self.inner.max_negation_pieces
+    }
+
+    pub(crate) fn subsume_negation_pieces(&self) -> usize {
+        self.inner.subsume_negation_pieces
+    }
+
+    pub(crate) fn stride_fuel(&self) -> u32 {
+        self.inner.stride_fuel
+    }
+
+    pub(crate) fn non_default_limits(&self) -> bool {
+        self.inner.non_default_limits
+    }
+}
+
+/// RAII scope of [`RequestGovernor::arm_on_thread`]: restores the
+/// previously armed governor (or none) on drop.
+pub struct RequestGovernorGuard {
+    prev: Option<RequestGovernor>,
+}
+
+impl Drop for RequestGovernorGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        REQ_GOV_ARMED.with(|a| a.set(prev.is_some()));
+        REQ_GOV.with(|g| *g.borrow_mut() = prev);
     }
 }
 

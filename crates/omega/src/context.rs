@@ -39,7 +39,10 @@
 //! # Ok::<(), dhpf_omega::OmegaError>(())
 //! ```
 
-use crate::budget::{Budget, CancelToken, GovernorStats};
+use crate::budget::{
+    anchor, current_request_governor, now_us, request_governor_armed, trip_reason, Budget,
+    CancelToken, GovernorStats, TRIP_DEADLINE, TRIP_FUEL, TRIP_INJECTED,
+};
 use crate::builder::{RelationBuilder, SetBuilder};
 use crate::conjunct::Conjunct;
 use crate::inject::{FaultAction, InjectPlan};
@@ -54,22 +57,32 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Maximum total entries per memo table (summed across shards) before a
-/// shard is flushed (counted as evictions). Keeps long compilations
-/// bounded; one compilation of the paper's benchmarks stays under this
-/// (SP-sym's FME table peaks at ~150k entries, so the cap must exceed
-/// that or the warm cache is dumped mid-compilation).
-const CACHE_CAP: usize = 1 << 19;
+/// Default maximum total entries per memo table (summed across shards).
+/// Keeps long compilations bounded; one compilation of the paper's
+/// benchmarks stays under this (SP-sym's FME table peaks at ~150k entries,
+/// so the cap must exceed that or the warm cache is churned
+/// mid-compilation). A serving deployment tunes it with
+/// [`Context::set_cache_capacity`].
+pub const DEFAULT_CACHE_CAP: usize = 1 << 19;
 
 /// Number of lock stripes in the arena. A power of two so the shard of an
 /// interned id is `id % SHARDS` (the id encodes its shard in the low bits).
 pub const SHARDS: usize = 16;
 
-/// Per-shard capacity bound for each memo table.
-const SHARD_CAP: usize = CACHE_CAP / SHARDS;
+/// Entries inspected per eviction round. Sampled eviction (à la Redis)
+/// keeps insertion O(sample) instead of O(table): the victim is the
+/// lowest-scored of a small sample, which for a power-law access pattern
+/// is within noise of true LRU.
+const EVICT_SAMPLE: usize = 8;
+
+/// Cap on the recency credit an expensive entry earns (see
+/// [`MemoTable::insert`]): one microsecond of saved recomputation counts
+/// as one tick of recency, up to this bound, so a pathological multi-second
+/// entry cannot pin itself forever.
+const COST_CREDIT_CAP_US: u32 = 8_192;
 
 /// Interned id of a hash-consed conjunct (or expression). The low
 /// `log2(SHARDS)` bits identify the owning shard.
@@ -188,6 +201,102 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// One memoized result plus the bookkeeping the eviction policy needs.
+struct MemoEntry<V> {
+    v: V,
+    /// Table tick at the entry's last hit (or its insertion).
+    stamp: u64,
+    /// Microseconds the original computation took — the recomputation
+    /// cost this entry saves on every hit.
+    cost_us: u32,
+}
+
+/// A size-bounded memo table with **cost-aware sampled eviction**
+/// (GDSF-flavored): each entry's retention score is its recency stamp
+/// plus a credit proportional to how expensive it was to compute, so under
+/// pressure the cache sheds cheap, cold entries first and keeps the
+/// expensive projections/negations that fleet-level reuse is for.
+///
+/// Replaces the previous wholesale shard flush: eviction is now
+/// incremental (one victim per over-capacity insert, chosen as the
+/// lowest-scored of a small sample), so a warm serving cache degrades
+/// smoothly at its capacity bound instead of periodically dumping
+/// everything it learned.
+struct MemoTable<K, V> {
+    map: HashMap<K, MemoEntry<V>>,
+    /// Monotonic access counter; stamps entries for recency scoring.
+    tick: u64,
+}
+
+impl<K, V> Default for MemoTable<K, V> {
+    fn default() -> Self {
+        MemoTable {
+            map: HashMap::new(),
+            tick: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> MemoTable<K, V> {
+    /// Cache probe: a hit refreshes the entry's recency stamp.
+    fn get(&mut self, k: &K, counts: &mut OpCounts) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(k) {
+            Some(e) => {
+                e.stamp = tick;
+                counts.hits += 1;
+                Some(e.v.clone())
+            }
+            None => {
+                counts.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a computed result, evicting lowest-scored entries while the
+    /// table is at its capacity bound. `cost_us` is the measured compute
+    /// time of the inserted result.
+    fn insert(&mut self, k: K, v: V, cost_us: u32, cap: usize, counts: &mut OpCounts) {
+        while self.map.len() >= cap.max(1) {
+            let victim = self
+                .map
+                .iter()
+                .take(EVICT_SAMPLE)
+                .min_by_key(|(_, e)| {
+                    e.stamp
+                        .saturating_add(u64::from(e.cost_us.min(COST_CREDIT_CAP_US)))
+                })
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    self.map.remove(&k);
+                    counts.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        self.tick += 1;
+        self.map.insert(
+            k,
+            MemoEntry {
+                v,
+                stamp: self.tick,
+                cost_us,
+            },
+        );
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
 /// Per-shard hit/miss/eviction counters, one [`OpCounts`] per memoized
 /// operation. Plain integers mutated under the shard lock: cheaper than
 /// shared atomics (no cross-shard cache-line ping-pong) and merged into a
@@ -213,14 +322,14 @@ struct Shard {
     conjuncts: HashMap<Conjunct, Id>,
     /// Hash-consed linear expressions (used by the builder API).
     exprs: HashMap<LinExpr, Id>,
-    sat: HashMap<Id, bool>,
-    eliminate: HashMap<(Id, Var), Result<Vec<Conjunct>, OmegaError>>,
-    negate: HashMap<Id, Result<Vec<Conjunct>, OmegaError>>,
+    sat: MemoTable<Id, bool>,
+    eliminate: MemoTable<(Id, Var), Result<Vec<Conjunct>, OmegaError>>,
+    negate: MemoTable<Id, Result<Vec<Conjunct>, OmegaError>>,
     /// Keyed `(a, b)`; stored in the shard of `a`.
-    gist: HashMap<(Id, Id), Conjunct>,
+    gist: MemoTable<(Id, Id), Conjunct>,
     /// Keyed by the interned conjunct list; stored in the shard selected
     /// by the hash of that id list.
-    simplify: HashMap<Vec<Id>, Vec<Conjunct>>,
+    simplify: MemoTable<Vec<Id>, Vec<Conjunct>>,
     counts: ShardCounts,
 }
 
@@ -235,20 +344,6 @@ impl Shard {
             interned_conjuncts: self.conjuncts.len() as u64,
             interned_exprs: self.exprs.len() as u64,
         }
-    }
-}
-
-/// Trip-reason codes stored in `Inner::trip_code` (0 = not tripped).
-const TRIP_DEADLINE: u8 = 1;
-const TRIP_FUEL: u8 = 2;
-const TRIP_INJECTED: u8 = 3;
-
-fn trip_reason(code: u8) -> Option<&'static str> {
-    match code {
-        TRIP_DEADLINE => Some("deadline"),
-        TRIP_FUEL => Some("op fuel"),
-        TRIP_INJECTED => Some("injected"),
-        _ => None,
     }
 }
 
@@ -287,15 +382,6 @@ impl Drop for GraceGuard {
 
 fn in_grace() -> bool {
     GRACE_DEPTH.with(std::cell::Cell::get) > 0
-}
-
-/// Process-wide monotonic anchor for deadline arithmetic: deadlines are
-/// stored as microseconds-since-anchor in one `AtomicU64`, so the per-op
-/// check is a clock read and a compare — no lock, no `Instant` in shared
-/// state.
-fn anchor() -> Instant {
-    static ANCHOR: OnceLock<Instant> = OnceLock::new();
-    *ANCHOR.get_or_init(Instant::now)
 }
 
 /// Mutable fault-injection bookkeeping, behind one mutex that is only
@@ -342,6 +428,9 @@ struct Inner {
     /// Fast gate + state for fault injection.
     inject_armed: AtomicBool,
     inject: Mutex<InjectState>,
+    /// Total memo-entry capacity per operation table (divided evenly
+    /// across shards). See [`Context::set_cache_capacity`].
+    cache_capacity: AtomicUsize,
     shards: [Mutex<Shard>; SHARDS],
 }
 
@@ -366,6 +455,12 @@ impl Drop for OpTrace {
 /// Input size of a per-conjunct operation: its constraint count.
 fn conjunct_size(c: &Conjunct) -> u64 {
     (c.eqs().len() + c.geqs().len()) as u64
+}
+
+/// Measured compute cost of a memo miss, for the eviction policy.
+/// Saturates at `u32::MAX` (~71 minutes — effectively never).
+fn elapsed_us(t0: Instant) -> u32 {
+    u32::try_from(t0.elapsed().as_micros()).unwrap_or(u32::MAX)
 }
 
 /// Deterministic shard index for a hashable key. `DefaultHasher::new()`
@@ -420,8 +515,16 @@ impl fmt::Debug for Context {
 }
 
 impl Context {
-    /// A fresh context with caching enabled.
+    /// A fresh context with caching enabled and the default cache
+    /// capacity ([`DEFAULT_CACHE_CAP`]).
     pub fn new() -> Self {
+        Context::with_capacity(DEFAULT_CACHE_CAP)
+    }
+
+    /// A fresh context whose memo tables are bounded at `capacity` total
+    /// entries per operation table. Long-running servers pick this to
+    /// bound resident memory; see [`Context::set_cache_capacity`].
+    pub fn with_capacity(capacity: usize) -> Self {
         Context {
             inner: Arc::new(Inner {
                 enabled: AtomicBool::new(true),
@@ -443,9 +546,59 @@ impl Context {
                 degraded: AtomicU64::new(0),
                 inject_armed: AtomicBool::new(false),
                 inject: Mutex::new(InjectState::default()),
+                cache_capacity: AtomicUsize::new(capacity),
                 shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
             }),
         }
+    }
+
+    /// Bounds every memo table at `capacity` total entries (per operation,
+    /// summed across shards). When a table is full, inserting a new result
+    /// evicts the entry with the lowest recency + compute-cost score from
+    /// a small sample, so cheap cold entries leave first. Takes effect on
+    /// subsequent inserts; existing entries are not flushed. A capacity of
+    /// `0` is clamped to one entry per shard.
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        self.inner.cache_capacity.store(capacity, Ordering::Relaxed);
+    }
+
+    /// The current per-table memo capacity (see
+    /// [`set_cache_capacity`](Self::set_cache_capacity)).
+    pub fn cache_capacity(&self) -> usize {
+        self.inner.cache_capacity.load(Ordering::Relaxed)
+    }
+
+    /// The per-shard entry bound derived from the table capacity.
+    fn shard_cap(&self) -> usize {
+        (self.inner.cache_capacity.load(Ordering::Relaxed) / SHARDS).max(1)
+    }
+
+    /// True when the thread's armed [`RequestGovernor`] carries
+    /// non-default exactness limits: a result computed under those limits
+    /// is not interchangeable with a default-limit entry (a negation that
+    /// is inexact under a tight piece cap may be exact under the default),
+    /// so both memo lookup and insert are skipped for such requests. The
+    /// context-global `set_budget` path instead flushes the tables when
+    /// its limits change — that stays correct because only one global
+    /// budget exists at a time.
+    fn memo_bypassed(&self) -> bool {
+        current_request_governor().is_some_and(|g| g.non_default_limits())
+    }
+
+    /// Total memoized entries currently resident, summed over the five
+    /// operation tables and all shards — the quantity
+    /// [`set_cache_capacity`](Self::set_cache_capacity) bounds per table.
+    pub fn memo_entries(&self) -> u64 {
+        let mut n = 0u64;
+        for shard in &self.inner.shards {
+            let s = shard.lock().unwrap();
+            n += (s.sat.len()
+                + s.eliminate.len()
+                + s.negate.len()
+                + s.gist.len()
+                + s.simplify.len()) as u64;
+        }
+        n
     }
 
     /// A context with caching disabled: operations behave exactly as with
@@ -625,17 +778,40 @@ impl Context {
 
     /// True once the budget has tripped (deadline passed, fuel spent, or
     /// an injected exhaustion). Sticky until the next [`Context::set_budget`].
+    ///
+    /// Reports the *merged* view: the context-global governor or, when a
+    /// [`RequestGovernor`] is armed on the calling thread, that request's
+    /// governor — so degradation sites keep working unchanged under
+    /// per-request governance.
     pub fn budget_tripped(&self) -> bool {
+        if current_request_governor().is_some_and(|g| g.tripped()) {
+            return true;
+        }
         self.inner.tripped.load(Ordering::Relaxed)
     }
 
     /// Governor counters: ops charged, ops answered conservatively after a
     /// trip, and the trip reason if any.
+    ///
+    /// Like [`budget_tripped`](Self::budget_tripped) this merges the
+    /// context-global counters with the thread's armed [`RequestGovernor`]
+    /// (scoped counters are summed in; a scoped trip reason wins).
     pub fn governor_stats(&self) -> GovernorStats {
-        GovernorStats {
+        let global = GovernorStats {
             ops_charged: self.inner.charged.load(Ordering::Relaxed),
             ops_degraded: self.inner.degraded.load(Ordering::Relaxed),
             tripped: trip_reason(self.inner.trip_code.load(Ordering::Relaxed)),
+        };
+        match current_request_governor() {
+            Some(gov) => {
+                let scoped = gov.stats();
+                GovernorStats {
+                    ops_charged: global.ops_charged + scoped.ops_charged,
+                    ops_degraded: global.ops_degraded + scoped.ops_degraded,
+                    tripped: scoped.tripped.or(global.tripped),
+                }
+            }
+            None => global,
         }
     }
 
@@ -648,18 +824,30 @@ impl Context {
     }
 
     /// Current exact-negation piece cap (see [`Budget::max_negation_pieces`]).
+    /// A thread-armed [`RequestGovernor`] overrides the context-global value.
     pub fn max_negation_pieces(&self) -> usize {
-        self.inner.max_negation_pieces.load(Ordering::Relaxed)
+        match current_request_governor() {
+            Some(gov) => gov.max_negation_pieces(),
+            None => self.inner.max_negation_pieces.load(Ordering::Relaxed),
+        }
     }
 
     /// Current subsumption piece cap (see [`Budget::subsume_negation_pieces`]).
+    /// A thread-armed [`RequestGovernor`] overrides the context-global value.
     pub fn subsume_negation_pieces(&self) -> usize {
-        self.inner.subsume_negation_pieces.load(Ordering::Relaxed)
+        match current_request_governor() {
+            Some(gov) => gov.subsume_negation_pieces(),
+            None => self.inner.subsume_negation_pieces.load(Ordering::Relaxed),
+        }
     }
 
     /// Current stride-form rewrite fuel (see [`Budget::stride_fuel`]).
+    /// A thread-armed [`RequestGovernor`] overrides the context-global value.
     pub fn stride_fuel(&self) -> u32 {
-        self.inner.stride_fuel.load(Ordering::Relaxed)
+        match current_request_governor() {
+            Some(gov) => gov.stride_fuel(),
+            None => self.inner.stride_fuel.load(Ordering::Relaxed),
+        }
     }
 
     /// Explicit cancellation checkpoint: `Err(Cancelled)` once the armed
@@ -668,6 +856,11 @@ impl Context {
     /// flight are the infallible ones (sat/gist/simplify) that cannot
     /// propagate an error.
     pub fn check_cancelled(&self) -> Result<(), OmegaError> {
+        if current_request_governor()
+            .is_some_and(|g| g.cancel_token().is_some_and(CancelToken::is_cancelled))
+        {
+            return Err(OmegaError::Cancelled);
+        }
         if !self.inner.cancel_armed.load(Ordering::Relaxed) {
             return Ok(());
         }
@@ -702,7 +895,7 @@ impl Context {
     /// be memoized), the infallible ones substitute a sound conservative
     /// answer. The ungoverned fast path is a single relaxed load.
     pub(crate) fn charge(&self, op: &'static str) -> Result<(), OmegaError> {
-        if !self.inner.governed.load(Ordering::Relaxed) {
+        if !self.inner.governed.load(Ordering::Relaxed) && !request_governor_armed() {
             return Ok(());
         }
         self.charge_slow(op)
@@ -710,6 +903,26 @@ impl Context {
 
     #[cold]
     fn charge_slow(&self, op: &'static str) -> Result<(), OmegaError> {
+        // A thread-armed request governor takes over budget enforcement;
+        // context-global fault injection (and a global trip it causes)
+        // still applies so chaos plans compose with per-request budgets.
+        if let Some(gov) = current_request_governor() {
+            let grace = in_grace();
+            self.check_cancelled()?;
+            if !grace {
+                if self.inner.inject_armed.load(Ordering::Relaxed) {
+                    self.inject_fire(op)?;
+                }
+                if self.inner.tripped.load(Ordering::Relaxed) {
+                    self.inner.degraded.fetch_add(1, Ordering::Relaxed);
+                    let code = self.inner.trip_code.load(Ordering::Relaxed);
+                    return Err(OmegaError::BudgetExceeded(
+                        trip_reason(code).unwrap_or("budget"),
+                    ));
+                }
+            }
+            return gov.charge(grace);
+        }
         let i = &self.inner;
         self.check_cancelled()?;
         if in_grace() {
@@ -731,11 +944,8 @@ impl Context {
                 }
             }
             let deadline = i.deadline_us.load(Ordering::Relaxed);
-            if deadline != u64::MAX {
-                let now = u64::try_from(anchor().elapsed().as_micros()).unwrap_or(u64::MAX);
-                if now > deadline {
-                    self.trip(TRIP_DEADLINE);
-                }
+            if deadline != u64::MAX && now_us() > deadline {
+                self.trip(TRIP_DEADLINE);
             }
         }
         if i.tripped.load(Ordering::Relaxed) {
@@ -921,29 +1131,27 @@ impl Context {
     ) -> Result<bool, OmegaError> {
         let _t = self.op_trace("satisfiability", conjunct_size(c));
         self.charge("sat")?;
-        if !self.is_enabled() {
+        if !self.is_enabled() || self.memo_bypassed() {
             return Ok(compute());
         }
         let (s, id) = {
             let cc = c.canonical();
             let s = shard_of(&cc);
             let mut shard = self.inner.shards[s].lock().unwrap();
-            let id = Self::intern_in(&mut shard.conjuncts, &cc, s);
-            if let Some(&v) = shard.sat.get(&id) {
-                shard.counts.sat.hits += 1;
+            let sh = &mut *shard;
+            let id = Self::intern_in(&mut sh.conjuncts, &cc, s);
+            if let Some(v) = sh.sat.get(&id, &mut sh.counts.sat) {
                 return Ok(v);
             }
-            shard.counts.sat.misses += 1;
             (s, id)
         };
+        let t0 = Instant::now();
         let v = compute();
+        let cost_us = elapsed_us(t0);
+        let cap = self.shard_cap();
         let mut shard = self.inner.shards[s].lock().unwrap();
-        if shard.sat.len() >= SHARD_CAP {
-            let n = shard.sat.len() as u64;
-            shard.counts.sat.evictions += n;
-            shard.sat.clear();
-        }
-        shard.sat.insert(id, v);
+        let sh = &mut *shard;
+        sh.sat.insert(id, v, cost_us, cap, &mut sh.counts.sat);
         Ok(v)
     }
 
@@ -958,29 +1166,28 @@ impl Context {
         // poison a long-lived context past the end of the budgeted
         // compilation.
         self.charge("eliminate")?;
-        if !self.is_enabled() {
+        if !self.is_enabled() || self.memo_bypassed() {
             return compute();
         }
         let (s, id) = {
             let cc = c.canonical();
             let s = shard_of(&cc);
             let mut shard = self.inner.shards[s].lock().unwrap();
-            let id = Self::intern_in(&mut shard.conjuncts, &cc, s);
-            if let Some(r) = shard.eliminate.get(&(id, v)).cloned() {
-                shard.counts.eliminate.hits += 1;
+            let sh = &mut *shard;
+            let id = Self::intern_in(&mut sh.conjuncts, &cc, s);
+            if let Some(r) = sh.eliminate.get(&(id, v), &mut sh.counts.eliminate) {
                 return r;
             }
-            shard.counts.eliminate.misses += 1;
             (s, id)
         };
+        let t0 = Instant::now();
         let r = compute();
+        let cost_us = elapsed_us(t0);
+        let cap = self.shard_cap();
         let mut shard = self.inner.shards[s].lock().unwrap();
-        if shard.eliminate.len() >= SHARD_CAP {
-            let n = shard.eliminate.len() as u64;
-            shard.counts.eliminate.evictions += n;
-            shard.eliminate.clear();
-        }
-        shard.eliminate.insert((id, v), r.clone());
+        let sh = &mut *shard;
+        sh.eliminate
+            .insert((id, v), r.clone(), cost_us, cap, &mut sh.counts.eliminate);
         r
     }
 
@@ -991,29 +1198,28 @@ impl Context {
     ) -> Result<Vec<Conjunct>, OmegaError> {
         let _t = self.op_trace("negation", conjunct_size(c));
         self.charge("negate")?;
-        if !self.is_enabled() {
+        if !self.is_enabled() || self.memo_bypassed() {
             return compute();
         }
         let (s, id) = {
             let cc = c.canonical();
             let s = shard_of(&cc);
             let mut shard = self.inner.shards[s].lock().unwrap();
-            let id = Self::intern_in(&mut shard.conjuncts, &cc, s);
-            if let Some(r) = shard.negate.get(&id).cloned() {
-                shard.counts.negate.hits += 1;
+            let sh = &mut *shard;
+            let id = Self::intern_in(&mut sh.conjuncts, &cc, s);
+            if let Some(r) = sh.negate.get(&id, &mut sh.counts.negate) {
                 return r;
             }
-            shard.counts.negate.misses += 1;
             (s, id)
         };
+        let t0 = Instant::now();
         let r = compute();
+        let cost_us = elapsed_us(t0);
+        let cap = self.shard_cap();
         let mut shard = self.inner.shards[s].lock().unwrap();
-        if shard.negate.len() >= SHARD_CAP {
-            let n = shard.negate.len() as u64;
-            shard.counts.negate.evictions += n;
-            shard.negate.clear();
-        }
-        shard.negate.insert(id, r.clone());
+        let sh = &mut *shard;
+        sh.negate
+            .insert(id, r.clone(), cost_us, cap, &mut sh.counts.negate);
         r
     }
 
@@ -1029,7 +1235,7 @@ impl Context {
         if self.charge("gist").is_err() {
             return c.clone();
         }
-        if !self.is_enabled() {
+        if !self.is_enabled() || self.memo_bypassed() {
             return compute();
         }
         // The two operands may live in different shards: intern each under
@@ -1040,21 +1246,20 @@ impl Context {
             let b = self.intern_canonical(&given.canonical());
             let gs = shard_of_id(a);
             let mut shard = self.inner.shards[gs].lock().unwrap();
-            if let Some(r) = shard.gist.get(&(a, b)).cloned() {
-                shard.counts.gist.hits += 1;
+            let sh = &mut *shard;
+            if let Some(r) = sh.gist.get(&(a, b), &mut sh.counts.gist) {
                 return r;
             }
-            shard.counts.gist.misses += 1;
             (gs, (a, b))
         };
+        let t0 = Instant::now();
         let r = compute();
+        let cost_us = elapsed_us(t0);
+        let cap = self.shard_cap();
         let mut shard = self.inner.shards[gs].lock().unwrap();
-        if shard.gist.len() >= SHARD_CAP {
-            let n = shard.gist.len() as u64;
-            shard.counts.gist.evictions += n;
-            shard.gist.clear();
-        }
-        shard.gist.insert(key, r.clone());
+        let sh = &mut *shard;
+        sh.gist
+            .insert(key, r.clone(), cost_us, cap, &mut sh.counts.gist);
         r
     }
 
@@ -1068,7 +1273,7 @@ impl Context {
         if self.charge("simplify").is_err() {
             return conjuncts.to_vec();
         }
-        if !self.is_enabled() {
+        if !self.is_enabled() || self.memo_bypassed() {
             return compute();
         }
         let (ss, key) = {
@@ -1078,21 +1283,20 @@ impl Context {
                 .collect();
             let ss = shard_of(&key);
             let mut shard = self.inner.shards[ss].lock().unwrap();
-            if let Some(r) = shard.simplify.get(&key).cloned() {
-                shard.counts.simplify.hits += 1;
+            let sh = &mut *shard;
+            if let Some(r) = sh.simplify.get(&key, &mut sh.counts.simplify) {
                 return r;
             }
-            shard.counts.simplify.misses += 1;
             (ss, key)
         };
+        let t0 = Instant::now();
         let r = compute();
+        let cost_us = elapsed_us(t0);
+        let cap = self.shard_cap();
         let mut shard = self.inner.shards[ss].lock().unwrap();
-        if shard.simplify.len() >= SHARD_CAP {
-            let n = shard.simplify.len() as u64;
-            shard.counts.simplify.evictions += n;
-            shard.simplify.clear();
-        }
-        shard.simplify.insert(key, r.clone());
+        let sh = &mut *shard;
+        sh.simplify
+            .insert(key, r.clone(), cost_us, cap, &mut sh.counts.simplify);
         r
     }
 }

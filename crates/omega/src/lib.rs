@@ -54,10 +54,10 @@ pub mod set;
 pub mod testing;
 pub mod var;
 
-pub use budget::{Budget, CancelToken, GovernorStats};
+pub use budget::{Budget, CancelToken, GovernorStats, RequestGovernor, RequestGovernorGuard};
 pub use builder::{RelationBuilder, SetBuilder};
 pub use conjunct::{Conjunct, Normalized};
-pub use context::{governor_grace, CacheStats, Context, GraceGuard, OpCounts};
+pub use context::{governor_grace, CacheStats, Context, GraceGuard, OpCounts, DEFAULT_CACHE_CAP};
 pub use inject::{FaultAction, InjectPlan};
 pub use linexpr::LinExpr;
 #[allow(deprecated)]
@@ -100,6 +100,105 @@ pub enum OmegaError {
     /// The [`CancelToken`] armed on the context was tripped. Unlike budget
     /// exhaustion this is never degraded — the compilation aborts.
     Cancelled,
+}
+
+/// Stable, machine-readable error codes shared by every error surface in
+/// the workspace — [`OmegaError`] here, `CompileError` in `dhpf-core`, and
+/// the `dhpf-serve` wire protocol all map onto this one vocabulary via a
+/// `code()` method.
+///
+/// The string form ([`ErrorCode::as_str`]) is the wire contract: it is
+/// what `dhpf-serve` serializes in error responses and what tests assert
+/// on, replacing fragile string-matching against `Display` output. Codes
+/// are append-only; an existing code never changes meaning or spelling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// Malformed Omega-syntax input (`E_PARSE`).
+    Parse,
+    /// HPF frontend (lexer/parser/semantic) failure (`E_FRONTEND`).
+    Frontend,
+    /// A construct the compiler does not support (`E_UNSUPPORTED`).
+    Unsupported,
+    /// Loop-synthesis / code-generation failure (`E_CODEGEN`).
+    Codegen,
+    /// A set-algebra exactness limit was hit (`E_SET_ALGEBRA`).
+    SetAlgebra,
+    /// Coefficient arithmetic overflowed `i64` (`E_OVERFLOW`).
+    Overflow,
+    /// Enumeration of a set with no constant bounds (`E_UNBOUNDED`).
+    Unbounded,
+    /// An arity-restricted operation got the wrong arity (`E_ARITY`).
+    Arity,
+    /// The compile budget (deadline/fuel) was exhausted (`E_BUDGET`).
+    Budget,
+    /// The compilation was cancelled (`E_CANCELLED`).
+    Cancelled,
+    /// A contained panic / internal invariant failure (`E_INTERNAL`).
+    Internal,
+    /// A malformed request at the wire-protocol layer (`E_PROTOCOL`).
+    Protocol,
+}
+
+impl ErrorCode {
+    /// The stable wire spelling of this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "E_PARSE",
+            ErrorCode::Frontend => "E_FRONTEND",
+            ErrorCode::Unsupported => "E_UNSUPPORTED",
+            ErrorCode::Codegen => "E_CODEGEN",
+            ErrorCode::SetAlgebra => "E_SET_ALGEBRA",
+            ErrorCode::Overflow => "E_OVERFLOW",
+            ErrorCode::Unbounded => "E_UNBOUNDED",
+            ErrorCode::Arity => "E_ARITY",
+            ErrorCode::Budget => "E_BUDGET",
+            ErrorCode::Cancelled => "E_CANCELLED",
+            ErrorCode::Internal => "E_INTERNAL",
+            ErrorCode::Protocol => "E_PROTOCOL",
+        }
+    }
+
+    /// Parses a wire spelling back to the code (`None` for unknown text),
+    /// so clients can round-trip responses without string comparisons.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "E_PARSE" => ErrorCode::Parse,
+            "E_FRONTEND" => ErrorCode::Frontend,
+            "E_UNSUPPORTED" => ErrorCode::Unsupported,
+            "E_CODEGEN" => ErrorCode::Codegen,
+            "E_SET_ALGEBRA" => ErrorCode::SetAlgebra,
+            "E_OVERFLOW" => ErrorCode::Overflow,
+            "E_UNBOUNDED" => ErrorCode::Unbounded,
+            "E_ARITY" => ErrorCode::Arity,
+            "E_BUDGET" => ErrorCode::Budget,
+            "E_CANCELLED" => ErrorCode::Cancelled,
+            "E_INTERNAL" => ErrorCode::Internal,
+            "E_PROTOCOL" => ErrorCode::Protocol,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl OmegaError {
+    /// The stable machine-readable [`ErrorCode`] of this error.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            OmegaError::InexactNegation => ErrorCode::SetAlgebra,
+            OmegaError::Unbounded => ErrorCode::Unbounded,
+            OmegaError::Parse(_) => ErrorCode::Parse,
+            OmegaError::Overflow(_) => ErrorCode::Overflow,
+            OmegaError::Arity(_) => ErrorCode::Arity,
+            OmegaError::BudgetExceeded(_) => ErrorCode::Budget,
+            OmegaError::Cancelled => ErrorCode::Cancelled,
+        }
+    }
 }
 
 impl fmt::Display for OmegaError {

@@ -1,0 +1,323 @@
+//! # dhpf-serve — a long-running compile daemon with fleet-level cache reuse
+//!
+//! A build fleet recompiles the same HPF units over and over: a CI farm,
+//! an autotuner sweeping distribution parameters, an IDE recompiling on
+//! every save. Each cold `dhpf` invocation rebuilds the Omega memo tables
+//! from nothing, so the set-algebra work that dominates compile time
+//! (satisfiability, projection, gist) is repaid on every run. This crate
+//! keeps one process alive instead: a thread-per-connection TCP daemon
+//! holding a single sharded [`Context`] whose hash-consing arena and memo
+//! tables persist across requests, bounded by cost-aware eviction so a
+//! week of traffic cannot grow it without limit.
+//!
+//! The serving tier adds three things the batch driver does not have:
+//!
+//! 1. **Cache reuse** — every request compiles via
+//!    [`process_request`](dhpf_core::process_request) on the shared
+//!    context and reports `cache_hits_delta`, the hits gained during that
+//!    request alone, plus a `warm` flag when the unit was seen before.
+//! 2. **Request deduplication** — concurrent identical requests (same
+//!    [`dedup_key`](proto::CompileJob::dedup_key)) coalesce: one leader
+//!    compiles, followers block on a condvar and fan out the shared
+//!    response with `coalesced: true`.
+//! 3. **Per-request governance** — each request's `deadline_ms`/`op_fuel`
+//!    arm a thread-scoped [`RequestGovernor`](dhpf_omega::RequestGovernor)
+//!    inside the driver, so one client's expired deadline never trips a
+//!    neighbour's compilation. `deadline_ms: 0` is rejected at admission
+//!    with `E_BUDGET` before any work happens.
+//!
+//! See [`proto`] for the JSON-lines wire format.
+
+#![warn(missing_docs)]
+
+pub mod proto;
+
+use dhpf_core::{CompileResponse, WireError};
+use dhpf_omega::{Context, ErrorCode};
+use proto::{render_error, render_response, CompileJob, Request, ServeMeta};
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One in-flight compilation that duplicates can latch onto.
+struct InFlight {
+    slot: Mutex<Option<Arc<CompileResponse>>>,
+    done: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, resp: Arc<CompileResponse>) {
+        *self.slot.lock().unwrap() = Some(resp);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Arc<CompileResponse> {
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            if let Some(resp) = slot.as_ref() {
+                return Arc::clone(resp);
+            }
+            slot = self.done.wait(slot).unwrap();
+        }
+    }
+}
+
+/// Shared server state: the persistent compile context plus the dedup and
+/// warm-tracking maps around it.
+struct State {
+    ctx: Context,
+    /// Leader election table: dedup key → the compilation to latch onto.
+    inflight: Mutex<HashMap<u64, Arc<InFlight>>>,
+    /// Units compiled at least once (warm-cache detection).
+    completed: Mutex<HashSet<u64>>,
+    requests: AtomicU64,
+    dedup_hits: AtomicU64,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+/// The compile daemon: owns the listener and the shared [`Context`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+/// A handle that can stop a running [`Server::serve`] loop from another
+/// thread (used by tests and the `shutdown` op).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    state: Arc<State>,
+    addr: std::net::SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown and pokes the acceptor awake.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(2); a throwaway connection
+        // wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds the daemon to `addr` (use port 0 for an ephemeral port) with
+    /// a fresh context holding at most `cache_cap` memo entries per table.
+    pub fn bind(addr: impl ToSocketAddrs, cache_cap: usize) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                ctx: Context::with_capacity(cache_cap),
+                inflight: Mutex::new(HashMap::new()),
+                completed: Mutex::new(HashSet::new()),
+                requests: AtomicU64::new(0),
+                dedup_hits: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                started: Instant::now(),
+            }),
+        })
+    }
+
+    /// The bound address (port resolved when binding to port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops the serve loop from another thread.
+    pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            state: Arc::clone(&self.state),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Accepts connections until shutdown, one handler thread per
+    /// connection. Returns once the shutdown flag is observed.
+    pub fn serve(&self) -> std::io::Result<()> {
+        let mut handlers = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let state = Arc::clone(&self.state);
+            handlers.push(std::thread::spawn(move || {
+                handle_connection(stream, &state)
+            }));
+            // Reap finished handlers so a long-lived daemon does not
+            // accumulate join handles.
+            handlers.retain(|h| !h.is_finished());
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<State>) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply, stop) = dispatch(&line, state);
+        if writer
+            .write_all(reply.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if stop {
+            state.shutdown.store(true, Ordering::SeqCst);
+            // Wake the acceptor (see ShutdownHandle::shutdown).
+            if let Ok(addr) = writer.get_ref().local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            break;
+        }
+    }
+}
+
+/// Handles one request line; returns the response line and whether this
+/// request asked the server to shut down.
+fn dispatch(line: &str, state: &Arc<State>) -> (String, bool) {
+    match proto::parse_request(line) {
+        Err((id, err)) => (render_error(&id, &err), false),
+        Ok(Request::Ping { id }) => (
+            format!(
+                "{{\"id\":{},\"ok\":true,\"pong\":true}}",
+                dhpf_obs::json::escape(&id)
+            ),
+            false,
+        ),
+        Ok(Request::Stats { id }) => (render_stats(&id, state), false),
+        Ok(Request::Shutdown { id }) => (
+            format!(
+                "{{\"id\":{},\"ok\":true,\"shutting_down\":true}}",
+                dhpf_obs::json::escape(&id)
+            ),
+            true,
+        ),
+        Ok(Request::Compile(job)) => (handle_compile(&job, state), false),
+    }
+}
+
+fn render_stats(id: &str, state: &Arc<State>) -> String {
+    let c = state.ctx.stats();
+    format!(
+        "{{\"id\":{},\"ok\":true,\"requests\":{},\"dedup_hits\":{},\"memo_entries\":{},\
+         \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}},\"uptime_ms\":{}}}",
+        dhpf_obs::json::escape(id),
+        state.requests.load(Ordering::Relaxed),
+        state.dedup_hits.load(Ordering::Relaxed),
+        state.ctx.memo_entries(),
+        c.total_hits(),
+        c.total_misses(),
+        c.total_evictions(),
+        state.started.elapsed().as_millis(),
+    )
+}
+
+fn handle_compile(job: &CompileJob, state: &Arc<State>) -> String {
+    state.requests.fetch_add(1, Ordering::Relaxed);
+
+    // Admission control: a zero deadline can never finish; reject it with
+    // the same typed code a mid-flight expiry produces, before any set
+    // algebra runs or an in-flight slot is claimed.
+    if job.deadline_ms == Some(0) {
+        return render_error(
+            &job.id,
+            &WireError {
+                code: ErrorCode::Budget,
+                message: "deadline expired on arrival (deadline_ms = 0)".to_string(),
+            },
+        );
+    }
+
+    let key = job.dedup_key();
+    let warm_key = job.warm_key();
+    let warm = state.completed.lock().unwrap().contains(&warm_key);
+
+    // Leader election: first arrival for a key inserts the in-flight slot
+    // and compiles; everyone else latches onto it.
+    let (flight, leader) = {
+        let mut inflight = state.inflight.lock().unwrap();
+        match inflight.get(&key) {
+            Some(f) => (Arc::clone(f), false),
+            None => {
+                let f = Arc::new(InFlight::new());
+                inflight.insert(key, Arc::clone(&f));
+                (f, true)
+            }
+        }
+    };
+
+    let (resp, coalesced) = if leader {
+        let resp = Arc::new(dhpf_core::process_request(&state.ctx, &job.to_request()));
+        flight.publish(Arc::clone(&resp));
+        // Followers holding the Arc still see the published slot after
+        // this removal; new arrivals start a fresh compilation.
+        state.inflight.lock().unwrap().remove(&key);
+        if resp.error.is_none() {
+            state.completed.lock().unwrap().insert(warm_key);
+        }
+        (resp, false)
+    } else {
+        state.dedup_hits.fetch_add(1, Ordering::Relaxed);
+        (flight.wait(), true)
+    };
+
+    let meta = ServeMeta {
+        warm,
+        coalesced,
+        dedup_hits: state.dedup_hits.load(Ordering::Relaxed),
+        memo_entries: state.ctx.memo_entries(),
+    };
+    render_response(&job.id, &resp, &meta)
+}
+
+/// Connects to a running daemon, sends each line of `requests`, and
+/// returns the response lines in order (the `--send` client mode and the
+/// CI smoke test both use this).
+pub fn send_lines(addr: impl ToSocketAddrs, requests: &[String]) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut replies = Vec::with_capacity(requests.len());
+    for req in requests {
+        writer.write_all(req.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        replies.push(line.trim_end().to_string());
+    }
+    Ok(replies)
+}

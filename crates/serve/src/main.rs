@@ -1,0 +1,143 @@
+//! The `dhpf-serve` binary: daemon mode by default, client mode with
+//! `--send`.
+//!
+//! ```text
+//! dhpf-serve [--addr HOST:PORT] [--cache-cap N]     # run the daemon
+//! dhpf-serve --addr HOST:PORT --send FILE            # send request lines
+//! dhpf-serve --addr HOST:PORT --request '<json>'     # send one request
+//! ```
+//!
+//! Client mode reads one JSON request per line (`-` = stdin), prints one
+//! response line per request, and exits nonzero if any response carries
+//! `"ok":false` — which makes the CI smoke test a grep-free shell one-liner.
+
+use dhpf_serve::{send_lines, Server};
+use std::io::Read;
+use std::process::ExitCode;
+
+const USAGE: &str = "dhpf-serve: long-running compile daemon with fleet-level cache reuse
+
+daemon mode (default):
+  --addr HOST:PORT   bind address (default 127.0.0.1:7421; port 0 = ephemeral)
+  --cache-cap N      max memo entries per operation table (default 524288)
+
+client mode:
+  --send FILE        connect to --addr, send each line of FILE (- = stdin)
+  --request JSON     connect to --addr, send one request line
+  exit status 1 if any response has \"ok\":false
+";
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7421".to_string();
+    let mut cache_cap = dhpf_omega::DEFAULT_CACHE_CAP;
+    let mut send_file: Option<String> = None;
+    let mut inline: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--cache-cap" => {
+                let v = value("--cache-cap");
+                match v.parse() {
+                    Ok(n) => cache_cap = n,
+                    Err(_) => {
+                        eprintln!("--cache-cap needs an integer, got {v:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--send" => send_file = Some(value("--send")),
+            "--request" => inline.push(value("--request")),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if send_file.is_some() || !inline.is_empty() {
+        return client(&addr, send_file.as_deref(), inline);
+    }
+
+    let server = match Server::bind(&addr, cache_cap) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dhpf-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        // Printed on one line so launchers (and the CI smoke job) can
+        // scrape the resolved ephemeral port.
+        Ok(bound) => println!("dhpf-serve: listening on {bound} (cache capacity {cache_cap})"),
+        Err(e) => eprintln!("dhpf-serve: listening ({e})"),
+    }
+    if let Err(e) = server.serve() {
+        eprintln!("dhpf-serve: serve loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("dhpf-serve: shut down");
+    ExitCode::SUCCESS
+}
+
+fn client(addr: &str, send_file: Option<&str>, mut requests: Vec<String>) -> ExitCode {
+    if let Some(path) = send_file {
+        let text = if path == "-" {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("dhpf-serve: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        } else {
+            match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("dhpf-serve: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        requests.extend(
+            text.lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(String::from),
+        );
+    }
+    if requests.is_empty() {
+        eprintln!("dhpf-serve: nothing to send");
+        return ExitCode::from(2);
+    }
+    let replies = match send_lines(addr, &requests) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dhpf-serve: cannot reach {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = replies.len() == requests.len();
+    for reply in &replies {
+        println!("{reply}");
+        // The response shape is flat, so this cheap check is reliable;
+        // clients needing more should parse the JSON.
+        if reply.contains("\"ok\":false") {
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -5,7 +5,8 @@
 //!
 //! Run with: `cargo run --example loop_splitting`
 
-use dhpf::core::{compile, CompileOptions, NestOp, SpmdItem};
+use dhpf::core::spmd::{NestOp, SpmdItem};
+use dhpf::core::{compile, CompileOptions};
 use dhpf::sim::{simulate, MachineModel};
 use dhpf_codegen::emit_fortran;
 use std::collections::HashMap;

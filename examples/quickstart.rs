@@ -4,9 +4,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use dhpf::core::{
-    build_layouts_in, collect_statements, comm_sets, cp_map, myid_set, CommRef, NestOp, SpmdItem,
-};
+use dhpf::core::spmd::{NestOp, SpmdItem};
+use dhpf::core::{build_layouts_in, collect_statements, comm_sets, cp_map, myid_set, CommRef};
 use dhpf::core::{compile, CompileOptions};
 use dhpf::hpf::{analyze, parse};
 use dhpf::sim::{run_serial, simulate, MachineModel};
@@ -122,7 +121,7 @@ trait RhsSummary {
     fn rhs_summary(&self) -> String;
 }
 
-impl RhsSummary for dhpf::core::CompiledStmt {
+impl RhsSummary for dhpf::core::spmd::CompiledStmt {
     fn rhs_summary(&self) -> String {
         format!("<rhs with {} flops>", self.cost)
     }

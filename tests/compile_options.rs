@@ -1,7 +1,8 @@
 //! Compiler-option behaviour: loop splitting toggles, statistics, and the
 //! pseudo-Fortran emission of compiled programs.
 
-use dhpf::core::{compile, CompileOptions, NestOp, SpmdItem};
+use dhpf::core::spmd::{NestOp, SpmdItem};
+use dhpf::core::{compile, CompileOptions};
 use dhpf_codegen::emit_fortran;
 
 const STENCIL: &str = "
