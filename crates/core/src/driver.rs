@@ -202,6 +202,13 @@ pub struct Artifacts {
     pub code: bool,
     /// Include per-phase timing rows ([`CompileResponse::timing`]).
     pub timing: bool,
+    /// Capture a span tree for this request and return it as single-line
+    /// JSON ([`CompileResponse::trace`]). When [`CompileOptions::trace`]
+    /// already carries a collector it is reused (and will contain
+    /// whatever else the caller recorded into it); otherwise a fresh
+    /// per-request collector is attached for the duration of the
+    /// compilation.
+    pub trace: bool,
 }
 
 /// One compilation request: the unit of work of the `dhpf-serve` protocol
@@ -258,6 +265,13 @@ impl CompileRequest {
         self.artifacts.timing = on;
         self
     }
+
+    /// Requests (or drops) the per-request span tree.
+    #[must_use]
+    pub fn trace(mut self, on: bool) -> Self {
+        self.artifacts.trace = on;
+        self
+    }
 }
 
 /// A typed, wire-serializable error: the stable [`ErrorCode`] plus the
@@ -307,6 +321,12 @@ pub struct CompileResponse {
     pub code: Option<String>,
     /// Per-phase rows as `(name, milliseconds)` ([`Artifacts::timing`]).
     pub timing: Option<Vec<(String, f64)>>,
+    /// Single-line span-tree JSON ([`Artifacts::trace`]): the full
+    /// structured trace of this compilation, schema-checked by
+    /// `dhpf_obs::export::validate_span_tree`. Present on error responses
+    /// too — a trace of a failed compilation is exactly what a latency
+    /// investigation wants.
+    pub trace: Option<String>,
 }
 
 /// Compiles one [`CompileRequest`] on a shared context, returning the full
@@ -328,10 +348,31 @@ pub fn compile_request(ctx: &Context, req: &CompileRequest) -> Result<Compiled, 
 pub fn process_request(ctx: &Context, req: &CompileRequest) -> CompileResponse {
     let before_hits = ctx.stats().total_hits();
     let t0 = Instant::now();
-    let result = compile_request(ctx, req);
+    // Trace capture: reuse the caller's collector when one is attached
+    // (coalesced followers then share the leader's spans); otherwise
+    // attach a fresh per-request collector for the duration of the call.
+    let mut collector = None;
+    let result = if req.artifacts.trace {
+        match &req.options.trace {
+            Some(c) => {
+                collector = Some(c.clone());
+                compile_request(ctx, req)
+            }
+            None => {
+                let c = Collector::new();
+                collector = Some(c.clone());
+                let mut opts = req.options.clone();
+                opts.trace = Some(c);
+                compile_impl(ctx, &req.source, &opts)
+            }
+        }
+    } else {
+        compile_request(ctx, req)
+    };
     let compile_ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
     let cache = ctx.stats();
     let cache_hits_delta = cache.total_hits().saturating_sub(before_hits);
+    let trace = collector.map(|c| dhpf_obs::export::span_tree_json(&c.trace()));
     match result {
         Ok(c) => CompileResponse {
             error: None,
@@ -354,6 +395,7 @@ pub fn process_request(ctx: &Context, req: &CompileRequest) -> CompileResponse {
                     .map(|(name, d, _)| (name, d.as_secs_f64() * 1e3))
                     .collect()
             }),
+            trace,
         },
         Err(e) => CompileResponse {
             error: Some(WireError {
@@ -369,6 +411,7 @@ pub fn process_request(ctx: &Context, req: &CompileRequest) -> CompileResponse {
             compile_ms,
             code: None,
             timing: None,
+            trace,
         },
     }
 }

@@ -1,11 +1,13 @@
-//! Exporters: human-readable tree dump, JSON lines, and Chrome
-//! `trace_event` JSON — plus schema validators used by `trace_lint` and CI.
+//! Exporters: human-readable tree dump, JSON lines, Chrome `trace_event`
+//! JSON, single-line span trees for wire responses, and Prometheus-style
+//! metrics exposition — plus schema validators used by `trace_lint` and CI.
 //!
 //! All emitters build their output by hand with a **fixed field order**, so
 //! golden-file tests can compare bytes (after redacting wall-clock values
 //! with [`chrome_trace_redacted`]).
 
-use crate::json::{self, Value};
+use crate::json::{self, Arr, Obj, Value};
+use crate::metrics::MetricsSnapshot;
 use crate::{OpStat, Trace};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -378,6 +380,416 @@ pub fn validate_json_lines(text: &str) -> Result<TraceSummary, String> {
     Ok(sum)
 }
 
+/// Serializes a span tree as one **single-line** JSON object, embeddable
+/// as a value inside a line-framed wire response:
+/// `{"spans":[{"id":…,"parent":…,"name":…,"cat":…,"start_ns":…,
+/// "dur_ns":…,"thread":…,"ops":{…},"counters":{…}},…]}`. Children always
+/// follow their parent (creation order), which [`validate_span_tree`]
+/// checks.
+pub fn span_tree_json(trace: &Trace) -> String {
+    let mut spans = Arr::new();
+    for (i, n) in trace.nodes.iter().enumerate() {
+        let mut o = Obj::new()
+            .u64("id", i as u64)
+            .raw(
+                "parent",
+                &n.parent
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "null".to_string()),
+            )
+            .str("name", &n.name)
+            .str("cat", n.cat)
+            .u64("start_ns", n.start_ns)
+            .u64("dur_ns", n.dur_ns)
+            .u64("self_ns", trace.self_ns(i))
+            .u64("thread", n.thread);
+        if !n.ops.is_empty() {
+            let mut ops = Obj::new();
+            for (op, stat) in &n.ops {
+                let mut body = String::new();
+                push_op_obj(&mut body, stat, false);
+                ops = ops.raw(op, &body);
+            }
+            o = o.obj("ops", ops);
+        }
+        if !n.counters.is_empty() {
+            let mut cs = Obj::new();
+            for (k, v) in &n.counters {
+                cs = cs.i64(k, *v);
+            }
+            o = o.obj("counters", cs);
+        }
+        spans = spans.obj(o);
+    }
+    Obj::new().arr("spans", spans).finish()
+}
+
+/// Validates a span tree produced by [`span_tree_json`] that was already
+/// parsed as a [`Value`] (e.g. extracted from a response line). Returns
+/// the number of spans.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation: missing fields,
+/// a parent index that does not precede its child, or negative numbers.
+pub fn validate_span_tree_value(v: &Value) -> Result<u64, String> {
+    let spans = v
+        .get("spans")
+        .ok_or("missing 'spans'")?
+        .as_arr()
+        .ok_or("'spans' must be an array")?;
+    if spans.is_empty() {
+        return Err("span tree has no spans".to_string());
+    }
+    for (i, s) in spans.iter().enumerate() {
+        let fail = |msg: String| format!("span {i}: {msg}");
+        s.as_obj().ok_or_else(|| fail("not an object".into()))?;
+        let id = expect_num(
+            s.get("id").ok_or_else(|| fail("missing 'id'".into()))?,
+            "id",
+        )
+        .map_err(&fail)?;
+        if id as usize != i {
+            return Err(fail(format!("id {id} out of order (expected {i})")));
+        }
+        for f in ["start_ns", "dur_ns", "self_ns", "thread"] {
+            let n = expect_num(s.get(f).ok_or_else(|| fail(format!("missing '{f}'")))?, f)
+                .map_err(&fail)?;
+            if n < 0.0 {
+                return Err(fail(format!("'{f}' must be non-negative")));
+            }
+        }
+        for f in ["name", "cat"] {
+            s.get(f)
+                .and_then(Value::as_str)
+                .ok_or_else(|| fail(format!("missing string '{f}'")))?;
+        }
+        match s.get("parent") {
+            Some(Value::Null) => {}
+            Some(p) => {
+                let p = expect_num(p, "parent").map_err(&fail)?;
+                if p as usize >= i {
+                    return Err(fail(format!("parent {p} does not precede span {i}")));
+                }
+            }
+            None => return Err(fail("missing 'parent'".into())),
+        }
+        if let Some(ops) = s.get("ops") {
+            let mut sum = TraceSummary::default();
+            validate_event_args(
+                &Value::Obj(vec![("ops".to_string(), ops.clone())]),
+                &mut sum,
+            )
+            .map_err(&fail)?;
+        }
+    }
+    Ok(spans.len() as u64)
+}
+
+/// Validates span-tree JSON text (see [`validate_span_tree_value`]).
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn validate_span_tree(text: &str) -> Result<u64, String> {
+    let v = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    validate_span_tree_value(&v)
+}
+
+/// Renders a [`MetricsSnapshot`] in the Prometheus text exposition
+/// format: `# TYPE` comments, `name{labels} value` samples, histograms as
+/// cumulative `_bucket{le="…"}` series plus `_sum` and `_count`. Bucket
+/// `le` bounds are the histogram's **inclusive upper bucket edges**;
+/// series appear sorted by name then labels.
+pub fn render_metrics_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_type: Option<String> = None;
+    let mut type_line = |out: &mut String, name: &str, kind: &'static str| {
+        if last_type.as_deref() != Some(name) {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            last_type = Some(name.to_string());
+        }
+    };
+    for s in &snap.counters {
+        type_line(&mut out, &s.id.name, "counter");
+        let _ = writeln!(out, "{} {}", s.id.render(), s.value);
+    }
+    for s in &snap.gauges {
+        type_line(&mut out, &s.id.name, "gauge");
+        let _ = writeln!(out, "{} {}", s.id.render(), s.value);
+    }
+    for (id, h) in &snap.histograms {
+        type_line(&mut out, &id.name, "histogram");
+        let with_label = |extra: &str| -> String {
+            let mut labels = String::new();
+            for (k, v) in &id.labels {
+                let _ = write!(labels, "{k}=\"{v}\",");
+            }
+            format!("{}_bucket{{{labels}{extra}}}", id.name)
+        };
+        for b in &h.buckets {
+            let _ = writeln!(out, "{} {}", with_label(&format!("le=\"{}\"", b.hi)), b.cum);
+        }
+        let _ = writeln!(out, "{} {}", with_label("le=\"+Inf\""), h.count);
+        let suffix = |s: &str| {
+            let mut id2 = id.clone();
+            id2.name.push_str(s);
+            id2.render()
+        };
+        let _ = writeln!(out, "{} {}", suffix("_sum"), h.sum);
+        let _ = writeln!(out, "{} {}", suffix("_count"), h.count);
+    }
+    out
+}
+
+/// What [`validate_metrics_text`] extracted: scalar samples keyed by
+/// their rendered series (`name{labels}`), histogram counts keyed the
+/// same way, and the total number of sample lines.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSummary {
+    /// Counter samples by rendered series id.
+    pub counters: BTreeMap<String, f64>,
+    /// Gauge samples by rendered series id.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram total counts (`+Inf` bucket) by rendered series id.
+    pub hist_counts: BTreeMap<String, u64>,
+    /// Total sample lines seen.
+    pub samples: u64,
+}
+
+/// Splits a `name{k="v",…}` sample key into the metric name and label
+/// pairs. Used by lint tools to inspect label values (e.g. asserting
+/// every `code` label is a known `E_*` error code).
+pub fn parse_series_key(key: &str) -> (String, Vec<(String, String)>) {
+    match key.split_once('{') {
+        None => (key.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let rest = rest.trim_end_matches('}');
+            let mut labels = Vec::new();
+            for pair in rest.split(',').filter(|p| !p.is_empty()) {
+                if let Some((k, v)) = pair.split_once('=') {
+                    labels.push((k.to_string(), v.trim_matches('"').to_string()));
+                }
+            }
+            (name.to_string(), labels)
+        }
+    }
+}
+
+fn parse_sample_line(line: &str) -> Result<(String, f64), String> {
+    let (key, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("malformed sample line {line:?}"))?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("bad sample value in {line:?}"))?;
+    Ok((key.to_string(), value))
+}
+
+/// Validates a Prometheus text exposition produced by
+/// [`render_metrics_text`]: every sample's metric must be declared in a
+/// `# TYPE` comment; counter and histogram samples must be non-negative
+/// and finite; each histogram series' bucket `le` bounds must be
+/// strictly increasing with non-decreasing cumulative counts, ending in
+/// `+Inf` whose count equals the series' `_count` sample.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn validate_metrics_text(text: &str) -> Result<MetricsSummary, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut sum = MetricsSummary::default();
+    // Per histogram series (name + labels sans `le`): buckets seen, in
+    // order, plus the `_count` sample for reconciliation.
+    let mut hist_buckets: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut hist_count_samples: BTreeMap<String, f64> = BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let fail = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() == Some("TYPE") {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| fail("TYPE comment missing metric name".into()))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| fail("TYPE comment missing kind".into()))?;
+                if !matches!(kind, "counter" | "gauge" | "histogram") {
+                    return Err(fail(format!("unknown metric kind {kind:?}")));
+                }
+                types.insert(name.to_string(), kind.to_string());
+            }
+            continue;
+        }
+        let (key, value) = parse_sample_line(line).map_err(&fail)?;
+        if !value.is_finite() {
+            return Err(fail(format!("non-finite sample value in {line:?}")));
+        }
+        sum.samples += 1;
+        let (name, labels) = parse_series_key(&key);
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| types.get(*b).map(String::as_str) == Some("histogram"));
+        let declared = base.unwrap_or(&name);
+        let kind = types
+            .get(declared)
+            .ok_or_else(|| fail(format!("sample {key:?} has no preceding TYPE comment")))?
+            .clone();
+        match kind.as_str() {
+            "counter" => {
+                if value < 0.0 {
+                    return Err(fail(format!("counter {key:?} is negative ({value})")));
+                }
+                sum.counters.insert(key, value);
+            }
+            "gauge" => {
+                sum.gauges.insert(key, value);
+            }
+            "histogram" => {
+                if value < 0.0 {
+                    return Err(fail(format!("histogram sample {key:?} is negative")));
+                }
+                let series_labels: Vec<String> = labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .map(|(k, v)| format!("{k}=\"{v}\""))
+                    .collect();
+                let series = format!("{declared}{{{}}}", series_labels.join(","));
+                if name.ends_with("_bucket") {
+                    let le = labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .map(|(_, v)| v.as_str())
+                        .ok_or_else(|| fail(format!("bucket {key:?} missing 'le' label")))?;
+                    let le = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.parse()
+                            .map_err(|_| fail(format!("bad le bound {le:?}")))?
+                    };
+                    hist_buckets.entry(series).or_default().push((le, value));
+                } else if name.ends_with("_count") {
+                    hist_count_samples.insert(series, value);
+                }
+            }
+            other => return Err(fail(format!("unknown kind {other:?}"))),
+        }
+    }
+
+    for (series, buckets) in &hist_buckets {
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_cum = -1.0;
+        for &(le, cum) in buckets {
+            if le <= prev_le {
+                return Err(format!(
+                    "histogram {series}: bucket bounds not strictly increasing at le={le}"
+                ));
+            }
+            if cum < prev_cum {
+                return Err(format!(
+                    "histogram {series}: cumulative counts decrease at le={le}"
+                ));
+            }
+            prev_le = le;
+            prev_cum = cum;
+        }
+        let (last_le, last_cum) = *buckets.last().expect("non-empty by construction");
+        if last_le != f64::INFINITY {
+            return Err(format!("histogram {series}: missing le=\"+Inf\" bucket"));
+        }
+        match hist_count_samples.get(series) {
+            Some(&count) if count == last_cum => {
+                sum.hist_counts.insert(series.clone(), count as u64);
+            }
+            Some(&count) => {
+                return Err(format!(
+                    "histogram {series}: _count {count} != +Inf bucket {last_cum}"
+                ));
+            }
+            None => return Err(format!("histogram {series}: missing _count sample")),
+        }
+    }
+    Ok(sum)
+}
+
+/// What [`validate_access_log`] extracted from a structured access log.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessLogSummary {
+    /// Total records.
+    pub lines: u64,
+    /// Records per outcome (`"ok"` or an `E_*` code).
+    pub by_outcome: BTreeMap<String, u64>,
+    /// Records per op.
+    pub by_op: BTreeMap<String, u64>,
+    /// Records carrying an embedded (schema-valid) span tree.
+    pub traces: u64,
+}
+
+/// Validates a JSON-lines access log: every line must be an object with
+/// `ts_ms`, `id`, `op`, `outcome` (`"ok"` or `E_*`), and a non-negative
+/// `duration_us`; `warm`/`coalesced` must be booleans when present; an
+/// embedded `trace` must satisfy [`validate_span_tree_value`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed record.
+pub fn validate_access_log(text: &str) -> Result<AccessLogSummary, String> {
+    let mut sum = AccessLogSummary::default();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fail = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let v = json::parse(line).map_err(|e| fail(format!("invalid JSON: {e}")))?;
+        v.as_obj().ok_or_else(|| fail("not an object".into()))?;
+        for f in ["ts_ms", "duration_us"] {
+            let n = expect_num(v.get(f).ok_or_else(|| fail(format!("missing '{f}'")))?, f)
+                .map_err(&fail)?;
+            if n < 0.0 {
+                return Err(fail(format!("'{f}' must be non-negative")));
+            }
+        }
+        v.get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| fail("missing string 'id'".into()))?;
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| fail("missing string 'op'".into()))?;
+        let outcome = v
+            .get("outcome")
+            .and_then(Value::as_str)
+            .ok_or_else(|| fail("missing string 'outcome'".into()))?;
+        if outcome != "ok" && !outcome.starts_with("E_") {
+            return Err(fail(format!(
+                "outcome must be \"ok\" or an E_* code, got {outcome:?}"
+            )));
+        }
+        for f in ["warm", "coalesced"] {
+            if let Some(b) = v.get(f) {
+                if !matches!(b, Value::Bool(_)) {
+                    return Err(fail(format!("'{f}' must be a boolean")));
+                }
+            }
+        }
+        if let Some(trace) = v.get("trace") {
+            validate_span_tree_value(trace).map_err(|e| fail(format!("embedded trace: {e}")))?;
+            sum.traces += 1;
+        }
+        sum.lines += 1;
+        *sum.by_outcome.entry(outcome.to_string()).or_default() += 1;
+        *sum.by_op.entry(op.to_string()).or_default() += 1;
+    }
+    Ok(sum)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +839,108 @@ mod tests {
         assert!(txt.contains("self"));
         assert!(txt.contains("satisfiability"));
         assert!(txt.contains("comm events = 2"));
+    }
+
+    #[test]
+    fn span_tree_json_is_single_line_and_validates() {
+        let t = sample();
+        let text = span_tree_json(&t);
+        assert!(!text.contains('\n'), "span tree must be one line");
+        assert_eq!(validate_span_tree(&text), Ok(3));
+        // Embedded as a value inside a larger document too.
+        let doc = format!("{{\"trace\":{text}}}");
+        let v = json::parse(&doc).unwrap();
+        assert_eq!(validate_span_tree_value(v.get("trace").unwrap()), Ok(3));
+        assert!(validate_span_tree("{\"spans\":[]}").is_err());
+        assert!(validate_span_tree("{\"spans\":[{\"id\":0}]}").is_err());
+        // A parent pointing forward is structurally invalid.
+        let bad = "{\"spans\":[{\"id\":0,\"parent\":1,\"name\":\"a\",\"cat\":\"x\",\
+                   \"start_ns\":0,\"dur_ns\":0,\"self_ns\":0,\"thread\":0}]}";
+        assert!(validate_span_tree(bad).is_err());
+    }
+
+    #[test]
+    fn metrics_exposition_round_trips_through_validator() {
+        let reg = crate::metrics::Registry::new();
+        reg.counter("dhpf_requests_total", &[("op", "compile")])
+            .add(5);
+        reg.counter("dhpf_errors_total", &[("code", "E_BUDGET")])
+            .inc();
+        reg.gauge("dhpf_memo_entries", &[("table", "sat")]).set(123);
+        let h = reg.histogram("dhpf_duration_us", &[("kind", "warm")]);
+        for v in [10u64, 20, 500, 9000] {
+            h.observe(v);
+        }
+        let text = render_metrics_text(&reg.snapshot());
+        let sum = validate_metrics_text(&text).expect("valid exposition");
+        assert_eq!(sum.counters["dhpf_requests_total{op=\"compile\"}"], 5.0);
+        assert_eq!(sum.counters["dhpf_errors_total{code=\"E_BUDGET\"}"], 1.0);
+        assert_eq!(sum.gauges["dhpf_memo_entries{table=\"sat\"}"], 123.0);
+        assert_eq!(sum.hist_counts["dhpf_duration_us{kind=\"warm\"}"], 4);
+        let (name, labels) = parse_series_key("dhpf_errors_total{code=\"E_BUDGET\"}");
+        assert_eq!(name, "dhpf_errors_total");
+        assert_eq!(labels, vec![("code".to_string(), "E_BUDGET".to_string())]);
+    }
+
+    #[test]
+    fn metrics_validator_rejects_violations() {
+        // Sample without a TYPE comment.
+        assert!(validate_metrics_text("x_total 1\n").is_err());
+        // Negative counter.
+        assert!(validate_metrics_text("# TYPE x_total counter\nx_total -1\n").is_err());
+        // Decreasing cumulative bucket counts.
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
+                   h_sum 9\nh_count 5\n";
+        assert!(validate_metrics_text(bad).unwrap_err().contains("decrease"));
+        // Non-increasing le bounds.
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{le=\"2\"} 1\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 2\n\
+                   h_sum 4\nh_count 2\n";
+        assert!(validate_metrics_text(bad).is_err());
+        // _count disagreeing with the +Inf bucket.
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{le=\"+Inf\"} 2\nh_sum 4\nh_count 3\n";
+        assert!(validate_metrics_text(bad).is_err());
+        // Missing +Inf bucket.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_sum 2\nh_count 1\n";
+        assert!(validate_metrics_text(bad).is_err());
+    }
+
+    #[test]
+    fn access_log_validator_checks_schema() {
+        let good = concat!(
+            "{\"ts_ms\":1,\"id\":\"r1\",\"op\":\"compile\",\"outcome\":\"ok\",",
+            "\"duration_us\":1500,\"warm\":false,\"coalesced\":false}\n",
+            "{\"ts_ms\":2,\"id\":\"r2\",\"op\":\"compile\",\"outcome\":\"E_BUDGET\",",
+            "\"duration_us\":3}\n",
+            "{\"ts_ms\":3,\"id\":\"p\",\"op\":\"ping\",\"outcome\":\"ok\",\"duration_us\":1}\n",
+        );
+        let sum = validate_access_log(good).expect("valid log");
+        assert_eq!(sum.lines, 3);
+        assert_eq!(sum.by_outcome["ok"], 2);
+        assert_eq!(sum.by_outcome["E_BUDGET"], 1);
+        assert_eq!(sum.by_op["compile"], 2);
+        assert_eq!(sum.traces, 0);
+
+        // Embedded trace must be schema-valid.
+        let t = sample();
+        let with_trace = format!(
+            "{{\"ts_ms\":1,\"id\":\"r\",\"op\":\"compile\",\"outcome\":\"ok\",\
+             \"duration_us\":9,\"trace\":{}}}\n",
+            span_tree_json(&t)
+        );
+        assert_eq!(validate_access_log(&with_trace).unwrap().traces, 1);
+
+        assert!(validate_access_log("{\"id\":\"x\"}\n").is_err());
+        assert!(validate_access_log(
+            "{\"ts_ms\":1,\"id\":\"x\",\"op\":\"compile\",\"outcome\":\"weird\",\"duration_us\":1}\n"
+        )
+        .is_err());
+        assert!(validate_access_log(
+            "{\"ts_ms\":1,\"id\":\"x\",\"op\":\"c\",\"outcome\":\"ok\",\"duration_us\":1,\"warm\":1}\n"
+        )
+        .is_err());
     }
 
     #[test]

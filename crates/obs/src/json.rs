@@ -4,8 +4,14 @@
 //!
 //! Objects preserve key order (`Vec<(String, Value)>`), which the golden
 //! tests use to assert stable field ordering.
+//!
+//! For producing JSON there are the incremental single-line builders
+//! [`Obj`] and [`Arr`]: every serialized response, access-log record, and
+//! snapshot in the workspace goes through this one escaping path instead
+//! of hand-rolled `format!` strings.
 
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -100,6 +106,165 @@ pub fn escape(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+/// An incremental single-line JSON object builder. Keys are emitted in
+/// call order; values are escaped through [`escape`]. Consume with
+/// [`Obj::finish`].
+///
+/// ```
+/// use dhpf_obs::json::Obj;
+/// let line = Obj::new().str("id", "r1").bool("ok", true).u64("n", 3).finish();
+/// assert_eq!(line, "{\"id\":\"r1\",\"ok\":true,\"n\":3}");
+/// ```
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    /// An empty object builder.
+    pub fn new() -> Self {
+        Obj::default()
+    }
+
+    fn key(&mut self, k: &str) {
+        self.buf.push(if self.buf.is_empty() { '{' } else { ',' });
+        self.buf.push_str(&escape(k));
+        self.buf.push(':');
+    }
+
+    /// Adds a string field (escaped).
+    #[must_use]
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(&escape(v));
+        self
+    }
+
+    /// Adds a string field, or `null` when `v` is `None`.
+    #[must_use]
+    pub fn opt_str(mut self, k: &str, v: Option<&str>) -> Self {
+        self.key(k);
+        match v {
+            Some(s) => self.buf.push_str(&escape(s)),
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    #[must_use]
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a signed integer field.
+    #[must_use]
+    pub fn i64(mut self, k: &str, v: i64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a float field with `decimals` digits after the point.
+    #[must_use]
+    pub fn f64(mut self, k: &str, v: f64, decimals: usize) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v:.decimals$}");
+        self
+    }
+
+    /// Adds a field whose value is already-serialized JSON (a nested
+    /// object, array, or literal). The caller guarantees `json` is valid.
+    #[must_use]
+    pub fn raw(mut self, k: &str, json: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Adds a nested object field.
+    #[must_use]
+    pub fn obj(self, k: &str, v: Obj) -> Self {
+        let inner = v.finish();
+        self.raw(k, &inner)
+    }
+
+    /// Adds a nested array field.
+    #[must_use]
+    pub fn arr(self, k: &str, v: Arr) -> Self {
+        let inner = v.finish();
+        self.raw(k, &inner)
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        if self.buf.is_empty() {
+            return "{}".to_string();
+        }
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// An incremental single-line JSON array builder, the [`Obj`] counterpart.
+#[derive(Debug, Default)]
+pub struct Arr {
+    buf: String,
+}
+
+impl Arr {
+    /// An empty array builder.
+    pub fn new() -> Self {
+        Arr::default()
+    }
+
+    fn sep(&mut self) {
+        self.buf.push(if self.buf.is_empty() { '[' } else { ',' });
+    }
+
+    /// Appends a string element (escaped).
+    #[must_use]
+    pub fn str(mut self, v: &str) -> Self {
+        self.sep();
+        self.buf.push_str(&escape(v));
+        self
+    }
+
+    /// Appends an element that is already-serialized JSON.
+    #[must_use]
+    pub fn raw(mut self, json: &str) -> Self {
+        self.sep();
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Appends a nested object element.
+    #[must_use]
+    pub fn obj(self, v: Obj) -> Self {
+        let inner = v.finish();
+        self.raw(&inner)
+    }
+
+    /// Closes the array and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        if self.buf.is_empty() {
+            return "[]".to_string();
+        }
+        self.buf.push(']');
+        self.buf
+    }
 }
 
 struct Parser<'a> {
@@ -348,6 +513,35 @@ mod tests {
         assert!(parse("{\"a\" 1}").is_err());
         assert!(parse("123abc").is_err());
         assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn obj_and_arr_builders_produce_parseable_json() {
+        let line = Obj::new()
+            .str("id", "a\"b")
+            .bool("ok", true)
+            .u64("count", 7)
+            .i64("delta", -2)
+            .f64("rate", 0.12345, 3)
+            .opt_str("err", None)
+            .arr(
+                "xs",
+                Arr::new().str("x").raw("1").obj(Obj::new().u64("y", 2)),
+            )
+            .obj("nested", Obj::new().bool("z", false))
+            .finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("id").unwrap().as_str(), Some("a\"b"));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("count").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("delta").unwrap().as_f64(), Some(-2.0));
+        assert_eq!(v.get("rate").unwrap().as_f64(), Some(0.123));
+        assert_eq!(v.get("err"), Some(&Value::Null));
+        assert_eq!(v.get("xs").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("nested").unwrap().get("z"), Some(&Value::Bool(false)));
+        assert!(!line.contains('\n'), "builders must emit a single line");
+        assert_eq!(Obj::new().finish(), "{}");
+        assert_eq!(Arr::new().finish(), "[]");
     }
 
     #[test]

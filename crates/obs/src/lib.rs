@@ -13,8 +13,14 @@
 //! spans, [`Collector::record_op`] calls, [`Collector::add_counter`] —
 //! is attributed to it. [`Collector::trace`] snapshots the finished tree
 //! as a [`Trace`], which the [`export`] module renders as a human-readable
-//! tree, JSON lines, or Chrome `trace_event` JSON (loadable in
-//! `chrome://tracing` / Perfetto).
+//! tree, JSON lines, single-line span-tree JSON (for wire responses), or
+//! Chrome `trace_event` JSON (loadable in `chrome://tracing` / Perfetto).
+//!
+//! Alongside the per-compilation span machinery, the [`metrics`] module
+//! provides the *fleet-level* substrate: a lock-free [`metrics::Registry`]
+//! of counters, gauges, and log-linear latency histograms with quantile
+//! extraction, rendered by [`export::render_metrics_text`] in the
+//! Prometheus text exposition format.
 //!
 //! Design constraints, per the reproduction's Table-1 requirements:
 //!
@@ -51,6 +57,7 @@
 
 pub mod export;
 pub mod json;
+pub mod metrics;
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;

@@ -601,6 +601,30 @@ impl Context {
         n
     }
 
+    /// Per-table resident memo entries, as `(operation name, entries)`
+    /// pairs in a fixed order — the gauge hook a serving tier polls to
+    /// export memo-table occupancy per operation (the sum equals
+    /// [`memo_entries`](Self::memo_entries)). Shards are locked one at a
+    /// time, so the snapshot is per-shard-consistent.
+    pub fn memo_occupancy(&self) -> [(&'static str, u64); 5] {
+        let mut out: [(&'static str, u64); 5] = [
+            ("sat", 0),
+            ("eliminate", 0),
+            ("negate", 0),
+            ("gist", 0),
+            ("simplify", 0),
+        ];
+        for shard in &self.inner.shards {
+            let s = shard.lock().unwrap();
+            out[0].1 += s.sat.len() as u64;
+            out[1].1 += s.eliminate.len() as u64;
+            out[2].1 += s.negate.len() as u64;
+            out[3].1 += s.gist.len() as u64;
+            out[4].1 += s.simplify.len() as u64;
+        }
+        out
+    }
+
     /// A context with caching disabled: operations behave exactly as with
     /// no context at all. Used by the `--no-cache` ablation.
     pub fn disabled() -> Self {

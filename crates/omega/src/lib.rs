@@ -141,6 +141,24 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
+    /// Every defined code, in declaration order. Metric exporters
+    /// pre-register one error counter per code from this list, and lint
+    /// tools use it to reject unknown `E_*` spellings.
+    pub const ALL: &'static [ErrorCode] = &[
+        ErrorCode::Parse,
+        ErrorCode::Frontend,
+        ErrorCode::Unsupported,
+        ErrorCode::Codegen,
+        ErrorCode::SetAlgebra,
+        ErrorCode::Overflow,
+        ErrorCode::Unbounded,
+        ErrorCode::Arity,
+        ErrorCode::Budget,
+        ErrorCode::Cancelled,
+        ErrorCode::Internal,
+        ErrorCode::Protocol,
+    ];
+
     /// The stable wire spelling of this code.
     pub fn as_str(self) -> &'static str {
         match self {

@@ -25,22 +25,59 @@
 //!    inside the driver, so one client's expired deadline never trips a
 //!    neighbour's compilation. `deadline_ms: 0` is rejected at admission
 //!    with `E_BUDGET` before any work happens.
+//! 4. **Observability** — a [`ServeMetrics`](metrics::ServeMetrics)
+//!    registry counts every request, error, coalesce role, degradation,
+//!    and governor trip, and samples warm/cold request latencies into
+//!    histograms; scrape it with the `metrics` op. A structured JSON-lines
+//!    access log ([`ServeConfig::access_log`]) records one line per
+//!    request, and a slow-request sampler
+//!    ([`ServeConfig::trace_slow_ms`]) embeds the span tree of any
+//!    compilation at or over the threshold.
 //!
 //! See [`proto`] for the JSON-lines wire format.
 
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod proto;
 
 use dhpf_core::{CompileResponse, WireError};
+use dhpf_obs::json::Obj;
 use dhpf_omega::{Context, ErrorCode};
+use metrics::ServeMetrics;
 use proto::{render_error, render_response, CompileJob, Request, ServeMeta};
 use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Daemon configuration beyond the bind address (see
+/// [`Server::bind_with`]).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Memo entries per table before cost-aware eviction kicks in.
+    pub cache_cap: usize,
+    /// Append one structured JSON line per request to this file
+    /// (schema: `dhpf_obs::export::validate_access_log`).
+    pub access_log: Option<PathBuf>,
+    /// Capture a span tree for every compilation and embed it in the
+    /// access-log record of any request whose compile time is at or over
+    /// this many milliseconds (`Some(0)` traces everything).
+    pub trace_slow_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache_cap: dhpf_omega::DEFAULT_CACHE_CAP,
+            access_log: None,
+            trace_slow_ms: None,
+        }
+    }
+}
 
 /// One in-flight compilation that duplicates can latch onto.
 struct InFlight {
@@ -84,6 +121,43 @@ struct State {
     dedup_hits: AtomicU64,
     shutdown: AtomicBool,
     started: Instant,
+    metrics: ServeMetrics,
+    access_log: Option<Mutex<std::fs::File>>,
+    trace_slow_ms: Option<u64>,
+}
+
+impl State {
+    /// Appends one record to the access log (with per-line flush, so a
+    /// tail-reader and the validator always see whole lines). When no log
+    /// file is configured, records carrying a slow-sampled trace fall
+    /// back to stderr — a slow-request trace is exactly the thing an
+    /// operator without an access log still wants to see.
+    fn log_access(&self, record: &str, has_slow_trace: bool) {
+        match &self.access_log {
+            Some(file) => {
+                let mut f = file.lock().unwrap();
+                let _ = f
+                    .write_all(record.as_bytes())
+                    .and_then(|()| f.write_all(b"\n"))
+                    .and_then(|()| f.flush());
+            }
+            None if has_slow_trace => eprintln!("{record}"),
+            None => {}
+        }
+    }
+}
+
+/// Milliseconds since the Unix epoch (the `ts_ms` access-log field).
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Microseconds of one request's wall time, saturating.
+fn elapsed_us(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// The compile daemon: owns the listener and the shared [`Context`].
@@ -114,17 +188,41 @@ impl Server {
     /// Binds the daemon to `addr` (use port 0 for an ephemeral port) with
     /// a fresh context holding at most `cache_cap` memo entries per table.
     pub fn bind(addr: impl ToSocketAddrs, cache_cap: usize) -> std::io::Result<Server> {
+        Server::bind_with(
+            addr,
+            &ServeConfig {
+                cache_cap,
+                ..ServeConfig::default()
+            },
+        )
+    }
+
+    /// Binds the daemon with full [`ServeConfig`] control: cache
+    /// capacity, access log, and slow-trace sampling.
+    pub fn bind_with(addr: impl ToSocketAddrs, config: &ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let access_log = match &config.access_log {
+            Some(path) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )),
+            None => None,
+        };
         Ok(Server {
             listener,
             state: Arc::new(State {
-                ctx: Context::with_capacity(cache_cap),
+                ctx: Context::with_capacity(config.cache_cap),
                 inflight: Mutex::new(HashMap::new()),
                 completed: Mutex::new(HashSet::new()),
                 requests: AtomicU64::new(0),
                 dedup_hits: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 started: Instant::now(),
+                metrics: ServeMetrics::new(),
+                access_log,
+                trace_slow_ms: config.trace_slow_ms,
             }),
         })
     }
@@ -206,57 +304,116 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) {
 /// Handles one request line; returns the response line and whether this
 /// request asked the server to shut down.
 fn dispatch(line: &str, state: &Arc<State>) -> (String, bool) {
-    match proto::parse_request(line) {
-        Err((id, err)) => (render_error(&id, &err), false),
-        Ok(Request::Ping { id }) => (
-            format!(
-                "{{\"id\":{},\"ok\":true,\"pong\":true}}",
-                dhpf_obs::json::escape(&id)
-            ),
-            false,
-        ),
-        Ok(Request::Stats { id }) => (render_stats(&id, state), false),
-        Ok(Request::Shutdown { id }) => (
-            format!(
-                "{{\"id\":{},\"ok\":true,\"shutting_down\":true}}",
-                dhpf_obs::json::escape(&id)
-            ),
-            true,
-        ),
-        Ok(Request::Compile(job)) => (handle_compile(&job, state), false),
+    let t0 = Instant::now();
+    let parsed = proto::parse_request(line);
+    let op = match &parsed {
+        Err(_) => "invalid",
+        Ok(Request::Ping { .. }) => "ping",
+        Ok(Request::Stats { .. }) => "stats",
+        Ok(Request::Metrics { .. }) => "metrics",
+        Ok(Request::Shutdown { .. }) => "shutdown",
+        Ok(Request::Compile(_)) => "compile",
+    };
+    state.metrics.record_request(op);
+    match parsed {
+        Err((id, err)) => {
+            state.metrics.record_error(err.code);
+            log_op_access(state, &id, op, err.code.as_str(), t0);
+            (render_error(&id, &err), false)
+        }
+        Ok(Request::Ping { id }) => {
+            log_op_access(state, &id, op, "ok", t0);
+            (
+                Obj::new()
+                    .str("id", &id)
+                    .bool("ok", true)
+                    .bool("pong", true)
+                    .finish(),
+                false,
+            )
+        }
+        Ok(Request::Stats { id }) => {
+            let reply = render_stats(&id, state);
+            log_op_access(state, &id, op, "ok", t0);
+            (reply, false)
+        }
+        Ok(Request::Metrics { id, prometheus }) => {
+            state.metrics.update_context_gauges(&state.ctx);
+            let snap = state.metrics.snapshot();
+            let reply = if prometheus {
+                proto::render_metrics_prometheus(&id, &snap)
+            } else {
+                proto::render_metrics_json(&id, &snap)
+            };
+            log_op_access(state, &id, op, "ok", t0);
+            (reply, false)
+        }
+        Ok(Request::Shutdown { id }) => {
+            log_op_access(state, &id, op, "ok", t0);
+            (
+                Obj::new()
+                    .str("id", &id)
+                    .bool("ok", true)
+                    .bool("shutting_down", true)
+                    .finish(),
+                true,
+            )
+        }
+        Ok(Request::Compile(job)) => (handle_compile(&job, state, t0), false),
     }
+}
+
+/// One access-log record for a non-compile op.
+fn log_op_access(state: &Arc<State>, id: &str, op: &str, outcome: &str, t0: Instant) {
+    if state.access_log.is_none() {
+        return;
+    }
+    let record = Obj::new()
+        .u64("ts_ms", now_ms())
+        .str("id", id)
+        .str("op", op)
+        .str("outcome", outcome)
+        .u64("duration_us", elapsed_us(t0))
+        .finish();
+    state.log_access(&record, false);
 }
 
 fn render_stats(id: &str, state: &Arc<State>) -> String {
     let c = state.ctx.stats();
-    format!(
-        "{{\"id\":{},\"ok\":true,\"requests\":{},\"dedup_hits\":{},\"memo_entries\":{},\
-         \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}},\"uptime_ms\":{}}}",
-        dhpf_obs::json::escape(id),
-        state.requests.load(Ordering::Relaxed),
-        state.dedup_hits.load(Ordering::Relaxed),
-        state.ctx.memo_entries(),
-        c.total_hits(),
-        c.total_misses(),
-        c.total_evictions(),
-        state.started.elapsed().as_millis(),
-    )
+    Obj::new()
+        .str("id", id)
+        .bool("ok", true)
+        .u64("requests", state.requests.load(Ordering::Relaxed))
+        .u64("dedup_hits", state.dedup_hits.load(Ordering::Relaxed))
+        .u64("memo_entries", state.ctx.memo_entries())
+        .obj(
+            "cache",
+            Obj::new()
+                .u64("hits", c.total_hits())
+                .u64("misses", c.total_misses())
+                .u64("evictions", c.total_evictions()),
+        )
+        .u64(
+            "uptime_ms",
+            u64::try_from(state.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+        )
+        .finish()
 }
 
-fn handle_compile(job: &CompileJob, state: &Arc<State>) -> String {
+fn handle_compile(job: &CompileJob, state: &Arc<State>, t0: Instant) -> String {
     state.requests.fetch_add(1, Ordering::Relaxed);
 
     // Admission control: a zero deadline can never finish; reject it with
     // the same typed code a mid-flight expiry produces, before any set
     // algebra runs or an in-flight slot is claimed.
     if job.deadline_ms == Some(0) {
-        return render_error(
-            &job.id,
-            &WireError {
-                code: ErrorCode::Budget,
-                message: "deadline expired on arrival (deadline_ms = 0)".to_string(),
-            },
-        );
+        let err = WireError {
+            code: ErrorCode::Budget,
+            message: "deadline expired on arrival (deadline_ms = 0)".to_string(),
+        };
+        state.metrics.record_error(err.code);
+        log_compile_access(state, job, "E_BUDGET", t0, false, false, None);
+        return render_error(&job.id, &err);
     }
 
     let key = job.dedup_key();
@@ -278,7 +435,17 @@ fn handle_compile(job: &CompileJob, state: &Arc<State>) -> String {
     };
 
     let (resp, coalesced) = if leader {
-        let resp = Arc::new(dhpf_core::process_request(&state.ctx, &job.to_request()));
+        state.metrics.inflight_delta(1);
+        let mut req = job.to_request();
+        // With slow-trace sampling on, every compilation is traced —
+        // which request will be slow is only known afterwards. Tracing is
+        // non-perturbing (the program is identical with or without it),
+        // and the trace reaches the client only when asked for.
+        if state.trace_slow_ms.is_some() {
+            req.artifacts.trace = true;
+        }
+        let resp = Arc::new(dhpf_core::process_request(&state.ctx, &req));
+        state.metrics.inflight_delta(-1);
         flight.publish(Arc::clone(&resp));
         // Followers holding the Arc still see the published slot after
         // this removal; new arrivals start a fresh compilation.
@@ -292,13 +459,64 @@ fn handle_compile(job: &CompileJob, state: &Arc<State>) -> String {
         (flight.wait(), true)
     };
 
+    state
+        .metrics
+        .record_compile(&resp, warm, coalesced, elapsed_us(t0));
+    if job.want_trace {
+        state.metrics.record_trace("requested");
+    }
+    // Slow-request sampling: the leader (who paid the compile time) logs
+    // the span tree; followers shared that compilation, so re-logging the
+    // identical trace would only bloat the log.
+    let slow = !coalesced && state.trace_slow_ms.is_some_and(|ms| resp.compile_ms >= ms);
+    let slow_trace = if slow {
+        state.metrics.record_trace("slow");
+        resp.trace.as_deref()
+    } else {
+        None
+    };
+    let outcome = match &resp.error {
+        None => "ok".to_string(),
+        Some(e) => e.code.as_str().to_string(),
+    };
+    log_compile_access(state, job, &outcome, t0, warm, coalesced, slow_trace);
+
     let meta = ServeMeta {
         warm,
         coalesced,
         dedup_hits: state.dedup_hits.load(Ordering::Relaxed),
         memo_entries: state.ctx.memo_entries(),
+        trace: job.want_trace,
     };
     render_response(&job.id, &resp, &meta)
+}
+
+/// One access-log record for a compile request, optionally carrying the
+/// slow-sampled span tree.
+fn log_compile_access(
+    state: &Arc<State>,
+    job: &CompileJob,
+    outcome: &str,
+    t0: Instant,
+    warm: bool,
+    coalesced: bool,
+    slow_trace: Option<&str>,
+) {
+    if state.access_log.is_none() && slow_trace.is_none() {
+        return;
+    }
+    let mut record = Obj::new()
+        .u64("ts_ms", now_ms())
+        .str("id", &job.id)
+        .str("op", "compile")
+        .str("outcome", outcome)
+        .u64("duration_us", elapsed_us(t0))
+        .bool("warm", warm)
+        .bool("coalesced", coalesced);
+    if let Some(trace) = slow_trace {
+        record = record.raw("trace", trace);
+    }
+    state.log_access(&record.finish(), slow_trace.is_some());
 }
 
 /// Connects to a running daemon, sends each line of `requests`, and

@@ -2,16 +2,17 @@
 //! `--send`.
 //!
 //! ```text
-//! dhpf-serve [--addr HOST:PORT] [--cache-cap N]     # run the daemon
-//! dhpf-serve --addr HOST:PORT --send FILE            # send request lines
-//! dhpf-serve --addr HOST:PORT --request '<json>'     # send one request
+//! dhpf-serve [--addr HOST:PORT] [--cache-cap N]
+//!            [--access-log FILE] [--trace-slow-ms N]  # run the daemon
+//! dhpf-serve --addr HOST:PORT --send FILE             # send request lines
+//! dhpf-serve --addr HOST:PORT --request '<json>'      # send one request
 //! ```
 //!
 //! Client mode reads one JSON request per line (`-` = stdin), prints one
 //! response line per request, and exits nonzero if any response carries
 //! `"ok":false` — which makes the CI smoke test a grep-free shell one-liner.
 
-use dhpf_serve::{send_lines, Server};
+use dhpf_serve::{send_lines, ServeConfig, Server};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -20,6 +21,9 @@ const USAGE: &str = "dhpf-serve: long-running compile daemon with fleet-level ca
 daemon mode (default):
   --addr HOST:PORT   bind address (default 127.0.0.1:7421; port 0 = ephemeral)
   --cache-cap N      max memo entries per operation table (default 524288)
+  --access-log FILE  append one structured JSON line per request to FILE
+  --trace-slow-ms N  trace every compile; log the span tree of requests
+                     taking >= N ms (0 = all) to the access log
 
 client mode:
   --send FILE        connect to --addr, send each line of FILE (- = stdin)
@@ -29,7 +33,7 @@ client mode:
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7421".to_string();
-    let mut cache_cap = dhpf_omega::DEFAULT_CACHE_CAP;
+    let mut config = ServeConfig::default();
     let mut send_file: Option<String> = None;
     let mut inline: Vec<String> = Vec::new();
 
@@ -41,16 +45,27 @@ fn main() -> ExitCode {
                 std::process::exit(2);
             })
         };
+        let parse_int = |flag: &str, v: &str| -> Result<u64, ExitCode> {
+            v.parse().map_err(|_| {
+                eprintln!("{flag} needs an integer, got {v:?}");
+                ExitCode::from(2)
+            })
+        };
         match arg.as_str() {
             "--addr" => addr = value("--addr"),
             "--cache-cap" => {
                 let v = value("--cache-cap");
-                match v.parse() {
-                    Ok(n) => cache_cap = n,
-                    Err(_) => {
-                        eprintln!("--cache-cap needs an integer, got {v:?}");
-                        return ExitCode::from(2);
-                    }
+                match parse_int("--cache-cap", &v) {
+                    Ok(n) => config.cache_cap = n as usize,
+                    Err(code) => return code,
+                }
+            }
+            "--access-log" => config.access_log = Some(value("--access-log").into()),
+            "--trace-slow-ms" => {
+                let v = value("--trace-slow-ms");
+                match parse_int("--trace-slow-ms", &v) {
+                    Ok(n) => config.trace_slow_ms = Some(n),
+                    Err(code) => return code,
                 }
             }
             "--send" => send_file = Some(value("--send")),
@@ -70,7 +85,8 @@ fn main() -> ExitCode {
         return client(&addr, send_file.as_deref(), inline);
     }
 
-    let server = match Server::bind(&addr, cache_cap) {
+    let cache_cap = config.cache_cap;
+    let server = match Server::bind_with(&addr, &config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("dhpf-serve: cannot bind {addr}: {e}");

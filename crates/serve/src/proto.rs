@@ -11,9 +11,11 @@
 //! ```json
 //! {"op":"compile","id":"r1","source":"program p\n…\nend\n",
 //!  "options":{"threads":2,"deadline_ms":5000,"op_fuel":1000000,"loop_splitting":true},
-//!  "want":["code","timing"]}
+//!  "want":["code","timing","trace"]}
 //! {"op":"ping","id":"p1"}
 //! {"op":"stats","id":"s1"}
+//! {"op":"metrics","id":"m1"}
+//! {"op":"metrics","id":"m2","format":"prometheus"}
 //! {"op":"shutdown","id":"q1"}
 //! ```
 //!
@@ -26,15 +28,22 @@
 //!
 //! Success: `{"id":…,"ok":true,"units":…,"comm_events":…,"degradations":[…],
 //! "cache":{…},"cache_hits_delta":…,"warm":…,"coalesced":…,"dedup_hits":…,
-//! "governor":{…},"compile_ms":…,"code":…,"timing":…}`.
+//! "governor":{…},"compile_ms":…,"code":…,"timing":…,"trace":…}`.
 //! Failure: `{"id":…,"ok":false,"error":{"code":"E_…","message":…},…}` —
 //! `error.code` is the stable machine contract; `message` is for humans.
+//!
+//! `want:["trace"]` adds a `trace` field: the single-line span tree of
+//! this compilation (`dhpf_obs::export::span_tree_json` schema). The
+//! `metrics` op returns the daemon's metric registry — structured JSON by
+//! default, or the full Prometheus text exposition as one escaped string
+//! field with `"format":"prometheus"` (scrape with netcat, unwrap, and
+//! feed to any Prometheus ingester).
 
 use dhpf_core::{CompileOptions, CompileRequest, CompileResponse, WireError};
-use dhpf_obs::json::{escape, parse, Value};
+use dhpf_obs::json::{escape, parse, Arr, Obj, Value};
+use dhpf_obs::metrics::MetricsSnapshot;
 use dhpf_omega::{Budget, ErrorCode};
 use std::collections::hash_map::DefaultHasher;
-use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
 
 /// Upper bound on per-request worker threads: protects the fleet from a
@@ -55,6 +64,14 @@ pub enum Request {
     Stats {
         /// Echoed request id.
         id: String,
+    },
+    /// Metrics scrape: the daemon's whole metric registry.
+    Metrics {
+        /// Echoed request id.
+        id: String,
+        /// `true` for the Prometheus text exposition (as one escaped
+        /// string field); `false` for structured JSON.
+        prometheus: bool,
     },
     /// Stop accepting connections and exit the serve loop.
     Shutdown {
@@ -84,6 +101,8 @@ pub struct CompileJob {
     pub want_code: bool,
     /// Return per-phase timing rows.
     pub want_timing: bool,
+    /// Return the single-line span tree of this compilation.
+    pub want_trace: bool,
 }
 
 impl CompileJob {
@@ -98,6 +117,7 @@ impl CompileJob {
         self.op_fuel.hash(&mut h);
         self.want_code.hash(&mut h);
         self.want_timing.hash(&mut h);
+        self.want_trace.hash(&mut h);
         h.finish()
     }
 
@@ -125,6 +145,7 @@ impl CompileJob {
             .options(opts)
             .code(self.want_code)
             .timing(self.want_timing)
+            .trace(self.want_trace)
     }
 }
 
@@ -163,6 +184,16 @@ pub fn parse_request(line: &str) -> Result<Request, (String, WireError)> {
     match op.as_str() {
         "ping" => Ok(Request::Ping { id }),
         "stats" => Ok(Request::Stats { id }),
+        "metrics" => {
+            let prometheus = match v.get("format").and_then(Value::as_str) {
+                None | Some("json") => false,
+                Some("prometheus") => true,
+                Some(other) => {
+                    return Err(proto_err(&id, format!("unknown metrics format {other:?}")))
+                }
+            };
+            Ok(Request::Metrics { id, prometheus })
+        }
         "shutdown" => Ok(Request::Shutdown { id }),
         "compile" => {
             let source = v
@@ -184,11 +215,13 @@ pub fn parse_request(line: &str) -> Result<Request, (String, WireError)> {
             };
             let mut want_code = false;
             let mut want_timing = false;
+            let mut want_trace = false;
             if let Some(wants) = v.get("want").and_then(Value::as_arr) {
                 for w in wants {
                     match w.as_str() {
                         Some("code") => want_code = true,
                         Some("timing") => want_timing = true,
+                        Some("trace") => want_trace = true,
                         Some(other) => {
                             return Err(proto_err(&id, format!("unknown artifact {other:?}")))
                         }
@@ -205,6 +238,7 @@ pub fn parse_request(line: &str) -> Result<Request, (String, WireError)> {
                 loop_splitting: get_bool("loop_splitting", true),
                 want_code,
                 want_timing,
+                want_trace,
             }))
         }
         other => Err(proto_err(&id, format!("unknown op {other:?}"))),
@@ -224,110 +258,149 @@ pub struct ServeMeta {
     pub dedup_hits: u64,
     /// Resident memo entries after the request.
     pub memo_entries: u64,
+    /// Include the captured span tree in the response (the client sent
+    /// `want:["trace"]`).
+    pub trace: bool,
 }
 
-fn push_cache(out: &mut String, resp: &CompileResponse, meta: &ServeMeta) {
+fn cache_obj(resp: &CompileResponse, meta: &ServeMeta) -> Obj {
     let c = &resp.cache;
     let hits = c.total_hits();
     let misses = c.total_misses();
-    let evictions = c.total_evictions();
     let total = hits + misses;
     let rate = if total == 0 {
         0.0
     } else {
         hits as f64 / total as f64
     };
-    let _ = write!(
-        out,
-        "\"cache\":{{\"hits\":{hits},\"misses\":{misses},\"evictions\":{evictions},\
-         \"hit_rate\":{rate:.4},\"entries\":{}}},\"cache_hits_delta\":{}",
-        meta.memo_entries, resp.cache_hits_delta,
-    );
+    Obj::new()
+        .u64("hits", hits)
+        .u64("misses", misses)
+        .u64("evictions", c.total_evictions())
+        .f64("hit_rate", rate, 4)
+        .u64("entries", meta.memo_entries)
+}
+
+fn error_obj(code: ErrorCode, message: &str) -> Obj {
+    Obj::new()
+        .str("code", code.as_str())
+        .str("message", message)
 }
 
 /// Serializes one response line (no trailing newline).
 pub fn render_response(id: &str, resp: &CompileResponse, meta: &ServeMeta) -> String {
-    let mut out = String::with_capacity(256);
-    let _ = write!(out, "{{\"id\":{},", escape(id));
+    let mut o = Obj::new().str("id", id);
     match &resp.error {
         None => {
-            let _ = write!(
-                out,
-                "\"ok\":true,\"units\":{},\"comm_events\":{},",
-                resp.units, resp.comm_events
-            );
-            out.push_str("\"degradations\":[");
-            for (i, d) in resp.degradations.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                let _ = write!(
-                    out,
-                    "{{\"site\":{},\"array\":{},\"reason\":{},\"action\":{}}}",
-                    escape(d.site),
-                    match &d.array {
-                        Some(a) => escape(a),
-                        None => "null".to_string(),
-                    },
-                    escape(&d.reason),
-                    escape(d.action),
+            let mut degs = Arr::new();
+            for d in &resp.degradations {
+                degs = degs.obj(
+                    Obj::new()
+                        .str("site", d.site)
+                        .opt_str("array", d.array.as_deref())
+                        .str("reason", &d.reason)
+                        .str("action", d.action),
                 );
             }
-            out.push_str("],");
+            o = o
+                .bool("ok", true)
+                .u64("units", resp.units as u64)
+                .u64("comm_events", resp.comm_events as u64)
+                .arr("degradations", degs);
         }
         Some(e) => {
-            let _ = write!(
-                out,
-                "\"ok\":false,\"error\":{{\"code\":{},\"message\":{}}},",
-                escape(e.code.as_str()),
-                escape(&e.message)
-            );
+            o = o
+                .bool("ok", false)
+                .obj("error", error_obj(e.code, &e.message));
         }
     }
-    push_cache(&mut out, resp, meta);
-    let _ = write!(
-        out,
-        ",\"warm\":{},\"coalesced\":{},\"dedup_hits\":{}",
-        meta.warm, meta.coalesced, meta.dedup_hits
-    );
+    o = o
+        .obj("cache", cache_obj(resp, meta))
+        .u64("cache_hits_delta", resp.cache_hits_delta)
+        .bool("warm", meta.warm)
+        .bool("coalesced", meta.coalesced)
+        .u64("dedup_hits", meta.dedup_hits);
     let g = &resp.governor;
-    let _ = write!(
-        out,
-        ",\"governor\":{{\"ops_charged\":{},\"ops_degraded\":{},\"tripped\":{}}}",
-        g.ops_charged,
-        g.ops_degraded,
-        match g.tripped {
-            Some(t) => escape(t),
-            None => "null".to_string(),
-        }
-    );
-    let _ = write!(out, ",\"compile_ms\":{}", resp.compile_ms);
+    o = o
+        .obj(
+            "governor",
+            Obj::new()
+                .u64("ops_charged", g.ops_charged)
+                .u64("ops_degraded", g.ops_degraded)
+                .opt_str("tripped", g.tripped),
+        )
+        .u64("compile_ms", resp.compile_ms);
     if let Some(code) = &resp.code {
-        let _ = write!(out, ",\"code\":{}", escape(code));
+        o = o.str("code", code);
     }
     if let Some(rows) = &resp.timing {
-        out.push_str(",\"timing\":[");
-        for (i, (name, ms)) in rows.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "[{},{ms:.3}]", escape(name));
+        let mut timing = Arr::new();
+        for (name, ms) in rows {
+            timing = timing.raw(&format!("[{},{ms:.3}]", escape(name)));
         }
-        out.push(']');
+        o = o.arr("timing", timing);
     }
-    out.push('}');
-    out
+    if meta.trace {
+        if let Some(trace) = &resp.trace {
+            o = o.raw("trace", trace);
+        }
+    }
+    o.finish()
 }
 
 /// Serializes an error-only response line (protocol errors, admission
 /// rejections) that never ran a compilation.
 pub fn render_error(id: &str, err: &WireError) -> String {
-    format!(
-        "{{\"id\":{},\"ok\":false,\"error\":{{\"code\":{},\"message\":{}}}}}",
-        escape(id),
-        escape(err.code.as_str()),
-        escape(&err.message)
-    )
+    Obj::new()
+        .str("id", id)
+        .bool("ok", false)
+        .obj("error", error_obj(err.code, &err.message))
+        .finish()
+}
+
+/// Serializes the structured-JSON `metrics` response: counters and gauges
+/// keyed by their rendered series (`name{labels}`), histograms as
+/// count/sum/mean plus p50/p90/p99 upper bounds in the native unit.
+pub fn render_metrics_json(id: &str, snap: &MetricsSnapshot) -> String {
+    let mut counters = Obj::new();
+    for s in &snap.counters {
+        counters = counters.u64(&s.id.render(), s.value);
+    }
+    let mut gauges = Obj::new();
+    for s in &snap.gauges {
+        gauges = gauges.i64(&s.id.render(), s.value);
+    }
+    let mut hists = Obj::new();
+    for (sid, h) in &snap.histograms {
+        hists = hists.obj(
+            &sid.render(),
+            Obj::new()
+                .u64("count", h.count)
+                .u64("sum", h.sum)
+                .f64("mean", h.mean(), 1)
+                .u64("p50", h.quantile(0.5))
+                .u64("p90", h.quantile(0.9))
+                .u64("p99", h.quantile(0.99)),
+        );
+    }
+    Obj::new()
+        .str("id", id)
+        .bool("ok", true)
+        .obj("counters", counters)
+        .obj("gauges", gauges)
+        .obj("histograms", hists)
+        .finish()
+}
+
+/// Serializes the Prometheus-format `metrics` response: the full text
+/// exposition as one escaped string field, ready to unwrap and feed to a
+/// Prometheus ingester.
+pub fn render_metrics_prometheus(id: &str, snap: &MetricsSnapshot) -> String {
+    Obj::new()
+        .str("id", id)
+        .bool("ok", true)
+        .str("prometheus", &dhpf_obs::export::render_metrics_text(snap))
+        .finish()
 }
 
 #[cfg(test)]
@@ -388,6 +461,7 @@ mod tests {
             loop_splitting: split,
             want_code: false,
             want_timing: false,
+            want_trace: false,
         };
         // Thread count never changes output (bit-identical guarantee), so
         // it is not part of the key…
