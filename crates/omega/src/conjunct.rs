@@ -30,11 +30,50 @@ use std::collections::BTreeSet;
 /// c.add_geq(LinExpr::constant(10) - LinExpr::var(Var::In(0)));
 /// assert!(c.is_satisfiable());
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, Default, Hash)]
+#[derive(Clone, Debug, Default)]
 pub struct Conjunct {
     n_exist: u32,
     eqs: Vec<LinExpr>,
     geqs: Vec<LinExpr>,
+    /// Normalized-form flag: `true` iff the conjunct is known to be a
+    /// fixed point of [`normalize`](Self::normalize). Maintained by the
+    /// mutators, read by `normalize`/`canonical` to skip re-derivation,
+    /// and excluded from `Eq`/`Ord`/`Hash` (it is a cache, not content).
+    norm: bool,
+}
+
+impl PartialEq for Conjunct {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_exist == other.n_exist && self.eqs == other.eqs && self.geqs == other.geqs
+    }
+}
+
+impl Eq for Conjunct {}
+
+impl std::hash::Hash for Conjunct {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.n_exist.hash(state);
+        self.eqs.hash(state);
+        self.geqs.hash(state);
+    }
+}
+
+impl PartialOrd for Conjunct {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Conjunct {
+    /// Deterministic structural order (constraints first, then the
+    /// existential count), used to sort a relation's conjuncts into a
+    /// canonical sequence without formatting them to strings.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.eqs
+            .cmp(&other.eqs)
+            .then_with(|| self.geqs.cmp(&other.geqs))
+            .then_with(|| self.n_exist.cmp(&other.n_exist))
+    }
 }
 
 /// Result of normalizing a conjunct: either still possibly satisfiable, or
@@ -68,26 +107,60 @@ impl Conjunct {
         &self.geqs
     }
 
-    /// A canonical copy for hash-consing: constraints sorted and
-    /// deduplicated, so conjuncts that differ only in constraint order or
-    /// repetition share one interned identity (and one memo-cache entry).
+    /// A canonical copy for hash-consing, by way of
+    /// [`normalize`](Self::normalize): conjuncts that differ only in
+    /// constraint order, repetition, scaling, slack constants, or
+    /// trailing unused existentials share one interned identity (and one
+    /// memo-cache entry). Conjuncts `normalize` proves empty all map to
+    /// the single canonical false form ([`is_false`](Self::is_false)).
+    ///
+    /// There is exactly one canonicalization discipline: this is the
+    /// same transformation `normalize` applies in place, so the parser,
+    /// the ops-layer producers, and the arena all agree on identity.
     pub fn canonical(&self) -> Conjunct {
         let mut c = self.clone();
-        c.eqs.sort_unstable();
-        c.eqs.dedup();
-        c.geqs.sort_unstable();
-        c.geqs.dedup();
+        c.normalize();
         c
+    }
+
+    /// Whether this conjunct is already a fixed point of
+    /// [`normalize`](Self::normalize) (and therefore of
+    /// [`canonical`](Self::canonical)).
+    pub fn is_normalized(&self) -> bool {
+        self.norm
+    }
+
+    /// Whether this is the canonical false conjunct (`-1 >= 0`) that
+    /// every trivially-contradictory conjunct normalizes to.
+    pub fn is_false(&self) -> bool {
+        self.eqs.is_empty()
+            && self.geqs.len() == 1
+            && self.geqs[0].is_constant()
+            && self.geqs[0].constant_term() == -1
+    }
+
+    /// Rewrites the conjunct into the canonical false form: no
+    /// equalities, the single inequality `-1 >= 0`, no existentials.
+    /// Every conjunct [`normalize`](Self::normalize) proves empty takes
+    /// this one shape, so all of them intern to one arena id.
+    fn set_false(&mut self) {
+        self.eqs.clear();
+        self.geqs.clear();
+        self.geqs.push(LinExpr::constant(-1));
+        self.n_exist = 0;
+        self.norm = true;
     }
 
     /// Adds the constraint `e = 0`.
     pub fn add_eq(&mut self, e: LinExpr) {
+        self.norm = false;
         self.note_exists(&e);
         self.eqs.push(e);
     }
 
     /// Adds the constraint `e >= 0`.
     pub fn add_geq(&mut self, e: LinExpr) {
+        self.norm = false;
         self.note_exists(&e);
         self.geqs.push(e);
     }
@@ -100,6 +173,7 @@ impl Conjunct {
 
     /// Allocates a fresh existential variable.
     pub fn fresh_exist(&mut self) -> Var {
+        self.norm = false;
         let v = Var::Exist(self.n_exist);
         self.n_exist += 1;
         v
@@ -165,22 +239,43 @@ impl Conjunct {
     /// Conjoins `other` into `self`, renumbering `other`'s existentials so
     /// they do not collide.
     pub fn merge(&mut self, other: &Conjunct) {
+        self.norm = false;
         let off = self.n_exist;
+        if off == 0 || other.n_exist == 0 {
+            // No renumbering needed: either we have no existentials to
+            // collide with, or `other` has none to shift.
+            self.eqs.extend_from_slice(&other.eqs);
+            self.geqs.extend_from_slice(&other.geqs);
+            self.n_exist = off.max(other.n_exist);
+            return;
+        }
         let remap = |v: Var| match v {
             Var::Exist(i) => Var::Exist(i + off),
             v => v,
         };
         for e in &other.eqs {
-            self.add_eq(e.rename(remap));
+            self.eqs.push(e.rename(remap));
         }
         for e in &other.geqs {
-            self.add_geq(e.rename(remap));
+            self.geqs.push(e.rename(remap));
         }
-        self.n_exist = self.n_exist.max(off + other.n_exist);
+        self.n_exist = off + other.n_exist;
+    }
+
+    /// Conjoins `other`'s constraints verbatim — no existential
+    /// renumbering. The caller guarantees the two sides' existential
+    /// indices are already disjoint (or deliberately shared); taking
+    /// `other` by value lets the expressions move without cloning.
+    pub fn conjoin_raw(&mut self, other: Conjunct) {
+        self.norm = false;
+        self.eqs.extend(other.eqs);
+        self.geqs.extend(other.geqs);
+        self.n_exist = self.n_exist.max(other.n_exist);
     }
 
     /// Substitutes `v := repl` in every constraint.
     pub fn substitute(&mut self, v: Var, repl: &LinExpr) {
+        self.norm = false;
         self.note_exists(repl);
         for e in self.eqs.iter_mut().chain(self.geqs.iter_mut()) {
             e.substitute(v, repl);
@@ -200,10 +295,26 @@ impl Conjunct {
         c
     }
 
-    /// Normalizes constraints in place: divides by coefficient GCDs
-    /// (tightening inequalities over Z), drops tautologies, and detects
-    /// trivial contradictions.
+    /// Normalizes constraints in place into the canonical form used for
+    /// hash-consing: divides by coefficient GCDs (tightening inequalities
+    /// over Z), canonicalizes equality signs, drops tautologies, promotes
+    /// opposing inequalities to equalities, sorts and deduplicates, keeps
+    /// only the tightest of parallel inequalities, trims trailing unused
+    /// existentials, and detects trivial contradictions (rewriting the
+    /// conjunct to the canonical false form, so all trivially-empty
+    /// conjuncts are structurally identical).
+    ///
+    /// Normalization happens exactly once: the result is flagged
+    /// ([`is_normalized`](Self::is_normalized)) and re-normalizing is a
+    /// constant-time no-op until the conjunct is mutated again.
     pub fn normalize(&mut self) -> Normalized {
+        if self.norm {
+            return if self.is_false() {
+                Normalized::False
+            } else {
+                Normalized::Consistent
+            };
+        }
         let mut ok = true;
         self.eqs.retain_mut(|e| {
             let g = e.coeff_gcd();
@@ -218,16 +329,16 @@ impl Conjunct {
                 return true;
             }
             if g > 1 {
-                *e = exact_div(e, g);
+                e.div_exact_coeffs(g);
             }
             // Canonical sign: leading coefficient positive.
-            let lead = e.terms().next().map(|(_, c)| c);
-            if matches!(lead, Some(c) if c < 0) {
-                *e = e.negated();
+            if matches!(e.terms().next(), Some((_, c)) if c < 0) {
+                e.negate_in_place();
             }
             true
         });
         if !ok {
+            self.set_false();
             return Normalized::False;
         }
         self.geqs.retain_mut(|e| {
@@ -240,31 +351,39 @@ impl Conjunct {
             }
             if g > 1 {
                 // g*f + c >= 0  <=>  f + floor(c/g) >= 0 over the integers.
-                *e = tighten_div(e, g);
+                e.tighten_by_gcd(g);
             }
             true
         });
         if !ok {
+            self.set_false();
             return Normalized::False;
         }
         // Opposing inequalities e >= 0 and -e >= 0 become the equality e = 0;
-        // e >= 0 and -e - k >= 0 (k > 0) is a contradiction.
+        // e >= 0 and -e - k >= 0 (k > 0) is a contradiction. (On overflow,
+        // `opposing_sum` returns `None` and the pair is conservatively kept
+        // as two inequalities.)
         let mut i = 0;
         while i < self.geqs.len() {
             let mut j = i + 1;
             let mut promoted = false;
             while j < self.geqs.len() {
-                let sum = self.geqs[i].clone() + self.geqs[j].clone();
-                if sum.is_constant() {
-                    let c = sum.constant_term();
+                if let Some(c) = self.geqs[i].opposing_sum(&self.geqs[j]) {
                     if c < 0 {
+                        self.set_false();
                         return Normalized::False;
                     }
                     if c == 0 {
-                        let e = self.geqs[i].clone();
                         self.geqs.remove(j);
-                        self.geqs.remove(i);
-                        self.add_eq(e);
+                        let mut e = self.geqs.remove(i);
+                        // The equality-sign pass above already ran, so give
+                        // the promoted equality its canonical sign here:
+                        // without this, {x >= 5, x <= 5} yields `x - 5 = 0`
+                        // or `-x + 5 = 0` depending on insertion order.
+                        if matches!(e.terms().next(), Some((_, c)) if c < 0) {
+                            e.negate_in_place();
+                        }
+                        self.eqs.push(e);
                         promoted = true;
                         break;
                     }
@@ -280,17 +399,23 @@ impl Conjunct {
         self.geqs.sort();
         self.geqs.dedup();
         // Keep only the tightest of parallel inequalities (same coefficients,
-        // different constants).
-        self.geqs.dedup_by(|b, a| {
-            let d = b.clone() - a.clone();
-            // after sort, a <= b; identical coefficients => d is constant
-            if d.is_constant() {
-                // a: f + c1 >= 0, b: f + c2 >= 0 with c1 <= c2; keep a.
-                d.constant_term() >= 0
-            } else {
-                false
-            }
-        });
+        // different constants). `dedup_by` hands the closure the *later*
+        // element first and the retained earlier one second; after the sort,
+        // the earlier one has the smaller constant — the tighter bound —
+        // so a non-negative delta means the later one is implied.
+        self.geqs
+            .dedup_by(|b, a| b.constant_delta(a).is_some_and(|d| d >= 0));
+        // Trim trailing unused existentials so conjuncts that differ only
+        // in dead quantifier slots are structurally identical. (Indices of
+        // *used* existentials are never renumbered: callers hold `Var`s.)
+        self.n_exist = self
+            .eqs
+            .iter()
+            .chain(&self.geqs)
+            .filter_map(LinExpr::max_exist)
+            .max()
+            .map_or(0, |m| m + 1);
+        self.norm = true;
         Normalized::Consistent
     }
 
@@ -521,6 +646,7 @@ impl Conjunct {
 
     /// Eliminates `v` using equality `eqs[idx]`.
     fn eliminate_via_eq(mut self, idx: usize, v: Var) -> Result<Vec<Conjunct>, OmegaError> {
+        self.norm = false; // constraints are edited in place below
         let eq = self.eqs[idx].clone();
         let a = eq.coeff(v);
         debug_assert_ne!(a, 0);
@@ -743,6 +869,7 @@ impl Conjunct {
     /// [`remove_redundant`](Self::remove_redundant) threading an optional
     /// shared [`Context`] through the implied-constraint tests.
     pub fn remove_redundant_in(&mut self, ctx: Option<&crate::Context>) {
+        self.norm = false; // removal can orphan the trailing-exist trim
         let mut i = 0;
         while i < self.geqs.len() {
             // geqs[i] is redundant iff (rest ∧ geqs[i] <= -1) is unsat.
@@ -824,20 +951,6 @@ fn modhat(a: i64, m: i64) -> i64 {
     } else {
         r
     }
-}
-
-/// Divides an equality by `g` exactly.
-fn exact_div(e: &LinExpr, g: i64) -> LinExpr {
-    LinExpr::from_terms(e.terms().map(|(v, c)| (v, c / g)), e.constant_term() / g)
-}
-
-/// Divides an inequality `e >= 0` by the coefficient gcd `g`, tightening the
-/// constant with floor division (exact over Z).
-fn tighten_div(e: &LinExpr, g: i64) -> LinExpr {
-    LinExpr::from_terms(
-        e.terms().map(|(v, c)| (v, c / g)),
-        floor_div(e.constant_term(), g),
-    )
 }
 
 #[cfg(test)]

@@ -1090,11 +1090,22 @@ impl Context {
     // Interning
     // ------------------------------------------------------------------
 
-    /// Hash-conses a conjunct, returning its interned id. Conjuncts that
-    /// differ only in constraint order or repetition share one id.
+    /// Hash-conses a conjunct, returning its interned id. Conjuncts with
+    /// the same [`Conjunct::canonical`] form — same constraints up to
+    /// order, repetition, scaling, and slack constants — share one id.
     pub fn intern_conjunct(&self, c: &Conjunct) -> u32 {
-        let cc = c.canonical();
-        self.intern_canonical(&cc)
+        self.intern_conjunct_key(c)
+    }
+
+    /// Interns the canonical form of `c`, borrowing `c` directly when it
+    /// is already normalized (the common case on probe paths: producers
+    /// normalize once at construction) instead of cloning per probe.
+    fn intern_conjunct_key(&self, c: &Conjunct) -> Id {
+        if c.is_normalized() {
+            self.intern_canonical(c)
+        } else {
+            self.intern_canonical(&c.canonical())
+        }
     }
 
     /// Interns an already-canonical conjunct (locks exactly one shard).
@@ -1159,11 +1170,19 @@ impl Context {
             return Ok(compute());
         }
         let (s, id) = {
-            let cc = c.canonical();
-            let s = shard_of(&cc);
+            // Borrow `c` as its own canonical key when already
+            // normalized; only un-normalized probes pay for a copy.
+            let tmp;
+            let cc: &Conjunct = if c.is_normalized() {
+                c
+            } else {
+                tmp = c.canonical();
+                &tmp
+            };
+            let s = shard_of(cc);
             let mut shard = self.inner.shards[s].lock().unwrap();
             let sh = &mut *shard;
-            let id = Self::intern_in(&mut sh.conjuncts, &cc, s);
+            let id = Self::intern_in(&mut sh.conjuncts, cc, s);
             if let Some(v) = sh.sat.get(&id, &mut sh.counts.sat) {
                 return Ok(v);
             }
@@ -1194,11 +1213,17 @@ impl Context {
             return compute();
         }
         let (s, id) = {
-            let cc = c.canonical();
-            let s = shard_of(&cc);
+            let tmp;
+            let cc: &Conjunct = if c.is_normalized() {
+                c
+            } else {
+                tmp = c.canonical();
+                &tmp
+            };
+            let s = shard_of(cc);
             let mut shard = self.inner.shards[s].lock().unwrap();
             let sh = &mut *shard;
-            let id = Self::intern_in(&mut sh.conjuncts, &cc, s);
+            let id = Self::intern_in(&mut sh.conjuncts, cc, s);
             if let Some(r) = sh.eliminate.get(&(id, v), &mut sh.counts.eliminate) {
                 return r;
             }
@@ -1226,11 +1251,17 @@ impl Context {
             return compute();
         }
         let (s, id) = {
-            let cc = c.canonical();
-            let s = shard_of(&cc);
+            let tmp;
+            let cc: &Conjunct = if c.is_normalized() {
+                c
+            } else {
+                tmp = c.canonical();
+                &tmp
+            };
+            let s = shard_of(cc);
             let mut shard = self.inner.shards[s].lock().unwrap();
             let sh = &mut *shard;
-            let id = Self::intern_in(&mut sh.conjuncts, &cc, s);
+            let id = Self::intern_in(&mut sh.conjuncts, cc, s);
             if let Some(r) = sh.negate.get(&id, &mut sh.counts.negate) {
                 return r;
             }
@@ -1266,8 +1297,8 @@ impl Context {
         // its own lock (sequentially — never nested), then probe the memo
         // table in the shard of `a`.
         let (gs, key) = {
-            let a = self.intern_canonical(&c.canonical());
-            let b = self.intern_canonical(&given.canonical());
+            let a = self.intern_conjunct_key(c);
+            let b = self.intern_conjunct_key(given);
             let gs = shard_of_id(a);
             let mut shard = self.inner.shards[gs].lock().unwrap();
             let sh = &mut *shard;
@@ -1303,7 +1334,7 @@ impl Context {
         let (ss, key) = {
             let key: Vec<Id> = conjuncts
                 .iter()
-                .map(|c| self.intern_canonical(&c.canonical()))
+                .map(|c| self.intern_conjunct_key(c))
                 .collect();
             let ss = shard_of(&key);
             let mut shard = self.inner.shards[ss].lock().unwrap();

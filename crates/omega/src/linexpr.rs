@@ -1,14 +1,105 @@
 //! Affine (linear + constant) integer expressions over [`Var`]s.
 
-use crate::num::{add, gcd, mul, try_add, try_mul};
+use crate::num::{add, floor_div, gcd, mul, try_add, try_mul};
 use crate::var::Var;
 use crate::OmegaError;
 use std::fmt;
+
+/// Inline capacity of [`TermVec`]: expressions with at most this many
+/// variable terms (the overwhelming majority — loop bounds, strides, and
+/// ownership constraints are 1–3 terms) store their coefficients inside
+/// the expression itself with no heap allocation.
+const INLINE_TERMS: usize = 4;
+
+/// Coefficient storage for [`LinExpr`]: a hand-rolled small-vector that
+/// keeps up to [`INLINE_TERMS`] `(Var, i64)` pairs inline and spills to a
+/// heap vector beyond that. A spilled vector never converts back to
+/// inline, so all observable behavior (`Eq`, `Ord`, `Hash`, `Debug`)
+/// is defined on the logical slice, never the representation.
+#[derive(Clone)]
+enum TermVec {
+    Inline {
+        len: u8,
+        buf: [(Var, i64); INLINE_TERMS],
+    },
+    Spilled(Vec<(Var, i64)>),
+}
+
+impl TermVec {
+    const EMPTY_SLOT: (Var, i64) = (Var::Param(0), 0);
+
+    fn as_slice(&self) -> &[(Var, i64)] {
+        match self {
+            TermVec::Inline { len, buf } => &buf[..*len as usize],
+            TermVec::Spilled(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [(Var, i64)] {
+        match self {
+            TermVec::Inline { len, buf } => &mut buf[..*len as usize],
+            TermVec::Spilled(v) => v,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    fn insert(&mut self, i: usize, t: (Var, i64)) {
+        match self {
+            TermVec::Inline { len, buf } => {
+                let n = *len as usize;
+                if n < INLINE_TERMS {
+                    buf.copy_within(i..n, i + 1);
+                    buf[i] = t;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(2 * INLINE_TERMS);
+                    v.extend_from_slice(&buf[..n]);
+                    v.insert(i, t);
+                    *self = TermVec::Spilled(v);
+                }
+            }
+            TermVec::Spilled(v) => v.insert(i, t),
+        }
+    }
+
+    fn remove(&mut self, i: usize) -> (Var, i64) {
+        match self {
+            TermVec::Inline { len, buf } => {
+                let n = *len as usize;
+                let t = buf[i];
+                buf.copy_within(i + 1..n, i);
+                *len -= 1;
+                t
+            }
+            TermVec::Spilled(v) => v.remove(i),
+        }
+    }
+}
+
+impl Default for TermVec {
+    fn default() -> Self {
+        TermVec::Inline {
+            len: 0,
+            buf: [Self::EMPTY_SLOT; INLINE_TERMS],
+        }
+    }
+}
+
+impl fmt::Debug for TermVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
 
 /// An affine expression `c0 + c1*v1 + c2*v2 + ...` with `i64` coefficients.
 ///
 /// Terms are kept sorted by [`Var`] with no zero coefficients, so structural
 /// equality coincides with mathematical equality of the expressions.
+/// Expressions of up to four terms are stored entirely inline (no heap
+/// allocation); `Eq`/`Ord`/`Hash` are representation-independent.
 ///
 /// # Examples
 ///
@@ -18,10 +109,43 @@ use std::fmt;
 /// assert_eq!(e.coeff(Var::In(0)), 1);
 /// assert_eq!(e.constant_term(), 3);
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct LinExpr {
-    terms: Vec<(Var, i64)>,
+    terms: TermVec,
     constant: i64,
+}
+
+impl PartialEq for LinExpr {
+    fn eq(&self, other: &Self) -> bool {
+        self.constant == other.constant && self.terms.as_slice() == other.terms.as_slice()
+    }
+}
+
+impl Eq for LinExpr {}
+
+impl PartialOrd for LinExpr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LinExpr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Same lexicographic (terms, constant) order the derived impl on
+        // the old `Vec` representation gave: equal-coefficient
+        // constraints sort adjacent, tighter constant first.
+        self.terms
+            .as_slice()
+            .cmp(other.terms.as_slice())
+            .then_with(|| self.constant.cmp(&other.constant))
+    }
+}
+
+impl std::hash::Hash for LinExpr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.terms.as_slice().hash(state);
+        self.constant.hash(state);
+    }
 }
 
 impl LinExpr {
@@ -33,7 +157,7 @@ impl LinExpr {
     /// The constant expression `c`.
     pub fn constant(c: i64) -> Self {
         LinExpr {
-            terms: Vec::new(),
+            terms: TermVec::default(),
             constant: c,
         }
     }
@@ -45,14 +169,11 @@ impl LinExpr {
 
     /// The expression `c * v`.
     pub fn term(v: Var, c: i64) -> Self {
-        if c == 0 {
-            LinExpr::zero()
-        } else {
-            LinExpr {
-                terms: vec![(v, c)],
-                constant: 0,
-            }
+        let mut e = LinExpr::zero();
+        if c != 0 {
+            e.terms.insert(0, (v, c));
         }
+        e
     }
 
     /// Builds an expression from `(var, coeff)` pairs and a constant.
@@ -68,8 +189,9 @@ impl LinExpr {
 
     /// The coefficient of `v` (0 if absent).
     pub fn coeff(&self, v: Var) -> i64 {
-        match self.terms.binary_search_by_key(&v, |&(w, _)| w) {
-            Ok(i) => self.terms[i].1,
+        let terms = self.terms.as_slice();
+        match terms.binary_search_by_key(&v, |&(w, _)| w) {
+            Ok(i) => terms[i].1,
             Err(_) => 0,
         }
     }
@@ -81,7 +203,12 @@ impl LinExpr {
 
     /// Iterates over the `(var, coeff)` terms in canonical order.
     pub fn terms(&self) -> impl Iterator<Item = (Var, i64)> + '_ {
-        self.terms.iter().copied()
+        self.terms.as_slice().iter().copied()
+    }
+
+    /// Number of variable terms.
+    pub fn n_terms(&self) -> usize {
+        self.terms.as_slice().len()
     }
 
     /// Returns `true` if the expression has no variable terms.
@@ -94,18 +221,48 @@ impl LinExpr {
         self.terms.is_empty() && self.constant == 0
     }
 
+    /// If `other`'s variable part is exactly the negation of `self`'s
+    /// (same vars, opposite coefficients), returns the sum of the two
+    /// constants — i.e. the constant value of `self + other` — without
+    /// materializing the sum. `None` otherwise, or on `i64` overflow
+    /// (conservatively treated as "not opposing" by callers).
+    pub fn opposing_sum(&self, other: &LinExpr) -> Option<i64> {
+        let a = self.terms.as_slice();
+        let b = other.terms.as_slice();
+        if a.len() != b.len() {
+            return None;
+        }
+        for (&(va, ca), &(vb, cb)) in a.iter().zip(b) {
+            if va != vb || ca != cb.checked_neg()? {
+                return None;
+            }
+        }
+        self.constant.checked_add(other.constant)
+    }
+
+    /// If `other` has the identical variable part, returns
+    /// `self.constant - other.constant` — the constant value of
+    /// `self - other` — without materializing the difference. `None`
+    /// otherwise, or on `i64` overflow.
+    pub fn constant_delta(&self, other: &LinExpr) -> Option<i64> {
+        if self.terms.as_slice() != other.terms.as_slice() {
+            return None;
+        }
+        self.constant.checked_sub(other.constant)
+    }
+
     /// Adds `c * v` in place.
     pub fn add_term(&mut self, v: Var, c: i64) {
         if c == 0 {
             return;
         }
-        match self.terms.binary_search_by_key(&v, |&(w, _)| w) {
+        match self.terms.as_slice().binary_search_by_key(&v, |&(w, _)| w) {
             Ok(i) => {
-                let nc = add(self.terms[i].1, c);
+                let nc = add(self.terms.as_slice()[i].1, c);
                 if nc == 0 {
                     self.terms.remove(i);
                 } else {
-                    self.terms[i].1 = nc;
+                    self.terms.as_mut_slice()[i].1 = nc;
                 }
             }
             Err(i) => self.terms.insert(i, (v, c)),
@@ -122,7 +279,7 @@ impl LinExpr {
         if k == 0 {
             return;
         }
-        for &(v, c) in &other.terms {
+        for &(v, c) in other.terms.as_slice() {
             self.add_term(v, mul(c, k));
         }
         self.constant = add(self.constant, mul(other.constant, k));
@@ -155,13 +312,13 @@ impl LinExpr {
         if c == 0 {
             return Ok(());
         }
-        match self.terms.binary_search_by_key(&v, |&(w, _)| w) {
+        match self.terms.as_slice().binary_search_by_key(&v, |&(w, _)| w) {
             Ok(i) => {
-                let nc = try_add(self.terms[i].1, c)?;
+                let nc = try_add(self.terms.as_slice()[i].1, c)?;
                 if nc == 0 {
                     self.terms.remove(i);
                 } else {
-                    self.terms[i].1 = nc;
+                    self.terms.as_mut_slice()[i].1 = nc;
                 }
             }
             Err(i) => self.terms.insert(i, (v, c)),
@@ -180,7 +337,7 @@ impl LinExpr {
         if k == 0 {
             return Ok(());
         }
-        for &(v, c) in &other.terms {
+        for &(v, c) in other.terms.as_slice() {
             self.try_add_term(v, try_mul(c, k)?)?;
         }
         self.constant = try_add(self.constant, try_mul(other.constant, k)?)?;
@@ -226,7 +383,7 @@ impl LinExpr {
 
     /// Removes the term for `v` entirely, returning its former coefficient.
     pub fn remove_term(&mut self, v: Var) -> i64 {
-        match self.terms.binary_search_by_key(&v, |&(w, _)| w) {
+        match self.terms.as_slice().binary_search_by_key(&v, |&(w, _)| w) {
             Ok(i) => self.terms.remove(i).1,
             Err(_) => 0,
         }
@@ -234,7 +391,35 @@ impl LinExpr {
 
     /// GCD of the variable coefficients (0 if there are none).
     pub fn coeff_gcd(&self) -> i64 {
-        self.terms.iter().fold(0, |g, &(_, c)| gcd(g, c))
+        self.terms.as_slice().iter().fold(0, |g, &(_, c)| gcd(g, c))
+    }
+
+    /// Divides every coefficient and the constant by `d` in place
+    /// (callers guarantee exact divisibility of the coefficients).
+    pub(crate) fn div_exact_coeffs(&mut self, d: i64) {
+        for t in self.terms.as_mut_slice() {
+            t.1 /= d;
+        }
+        self.constant /= d;
+    }
+
+    /// Divides the coefficients by their gcd `g` exactly and the constant
+    /// by floor division, in place: `g*f + c >= 0  <=>  f + floor(c/g) >= 0`
+    /// over the integers.
+    pub(crate) fn tighten_by_gcd(&mut self, g: i64) {
+        for t in self.terms.as_mut_slice() {
+            t.1 /= g;
+        }
+        self.constant = floor_div(self.constant, g);
+    }
+
+    /// Negates every coefficient and the constant in place, without
+    /// reallocating (term order is var-keyed, so it is unchanged).
+    pub(crate) fn negate_in_place(&mut self) {
+        for t in self.terms.as_mut_slice() {
+            t.1 = -t.1;
+        }
+        self.constant = -self.constant;
     }
 
     /// Applies `f` to every variable, renaming terms.
@@ -243,7 +428,7 @@ impl LinExpr {
     /// handled correctly if it is not, by summing coefficients).
     pub fn rename<F: Fn(Var) -> Var>(&self, f: F) -> LinExpr {
         let mut e = LinExpr::constant(self.constant);
-        for &(v, c) in &self.terms {
+        for &(v, c) in self.terms.as_slice() {
             e.add_term(f(v), c);
         }
         e
@@ -254,7 +439,7 @@ impl LinExpr {
     /// Returns `None` if some variable is unbound.
     pub fn eval<F: Fn(Var) -> Option<i64>>(&self, lookup: F) -> Option<i64> {
         let mut acc = self.constant;
-        for &(v, c) in &self.terms {
+        for &(v, c) in self.terms.as_slice() {
             acc = add(acc, mul(c, lookup(v)?));
         }
         Some(acc)
@@ -263,7 +448,7 @@ impl LinExpr {
     /// Partially evaluates: substitutes the bound variables, keeps the rest.
     pub fn partial_eval<F: Fn(Var) -> Option<i64>>(&self, lookup: F) -> LinExpr {
         let mut e = LinExpr::constant(self.constant);
-        for &(v, c) in &self.terms {
+        for &(v, c) in self.terms.as_slice() {
             match lookup(v) {
                 Some(val) => e.add_constant(mul(c, val)),
                 None => e.add_term(v, c),
@@ -274,12 +459,13 @@ impl LinExpr {
 
     /// Variables mentioned by this expression, in canonical order.
     pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
-        self.terms.iter().map(|&(v, _)| v)
+        self.terms.as_slice().iter().map(|&(v, _)| v)
     }
 
     /// The highest `Exist` index mentioned, if any.
     pub fn max_exist(&self) -> Option<u32> {
         self.terms
+            .as_slice()
             .iter()
             .filter_map(|&(v, _)| match v {
                 Var::Exist(i) => Some(i),
@@ -327,7 +513,7 @@ impl From<Var> for LinExpr {
 impl fmt::Display for LinExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
-        for &(v, c) in &self.terms {
+        for &(v, c) in self.terms.as_slice() {
             if first {
                 if c == 1 {
                     write!(f, "{v}")?;
@@ -430,5 +616,48 @@ mod tests {
         let e = LinExpr::from_terms([(i(0), 4), (i(1), -6)], 3);
         assert_eq!(e.coeff_gcd(), 2);
         assert_eq!(LinExpr::constant(5).coeff_gcd(), 0);
+    }
+
+    #[test]
+    fn inline_spill_roundtrip_preserves_semantics() {
+        // Push past the inline capacity, then remove back below it: the
+        // slice view (and so Eq/Ord/Hash) must be identical to an
+        // expression built small.
+        let vars: Vec<Var> = (0..7).map(i).collect();
+        let mut big = LinExpr::constant(9);
+        for (k, &v) in vars.iter().enumerate() {
+            big.add_term(v, k as i64 + 1);
+        }
+        assert_eq!(big.n_terms(), 7);
+        for &v in &vars[2..] {
+            big.remove_term(v);
+        }
+        let small = LinExpr::from_terms([(i(0), 1), (i(1), 2)], 9);
+        assert_eq!(big, small);
+        assert_eq!(big.cmp(&small), std::cmp::Ordering::Equal);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |e: &LinExpr| {
+            let mut h = DefaultHasher::new();
+            e.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&big), hash(&small));
+        assert_eq!(format!("{big:?}"), format!("{small:?}"));
+    }
+
+    #[test]
+    fn opposing_sum_and_constant_delta() {
+        let a = LinExpr::from_terms([(i(0), 2), (i(1), -3)], 5);
+        let b = LinExpr::from_terms([(i(0), -2), (i(1), 3)], -1);
+        assert_eq!(a.opposing_sum(&b), Some(4));
+        assert_eq!(a.opposing_sum(&a), None);
+        let c = LinExpr::from_terms([(i(0), 2), (i(1), -3)], 1);
+        assert_eq!(a.constant_delta(&c), Some(4));
+        assert_eq!(a.constant_delta(&b), None);
+        assert_eq!(
+            LinExpr::constant(3).opposing_sum(&LinExpr::constant(4)),
+            Some(7)
+        );
     }
 }

@@ -49,8 +49,13 @@ fn negate_uncached(
 ) -> Result<Vec<Conjunct>, OmegaError> {
     let mut c = c.clone();
     if c.normalize() == Normalized::False {
-        // Complement of the empty conjunct is the universe.
-        return Ok(vec![Conjunct::new()]);
+        // Complement of the empty conjunct is the universe. Every
+        // trivially-empty conjunct interns to the one canonical false id,
+        // so this arm also keeps the memoized negation independent of
+        // which empty conjunct reached the cache first.
+        let mut u = Conjunct::new();
+        u.normalize();
+        return Ok(vec![u]);
     }
     // Reduce to stride form: eliminate every existential that is not a pure
     // congruence witness. Elimination can introduce fresh existentials with

@@ -479,6 +479,8 @@ pub const LAWS: &[&str] = &[
     "simplify-preserves",
     "dim-bounds",
     "display-roundtrip",
+    "normalize-idempotent",
+    "canonical-agree",
 ];
 
 /// One generated test case: a law plus the generated inputs it ran on.
@@ -1016,6 +1018,68 @@ fn check_inner(case: &Case, cfg: &OracleConfig) -> Result<Verdict, String> {
                     return Err(format!(
                         "display-roundtrip: at {w:?} original {expect}, reparsed {got}: {printed}"
                     ));
+                }
+            }
+            Ok(Verdict::Pass)
+        }
+        "normalize-idempotent" => {
+            let a = &inputs[0];
+            let sa = a.to_set()?;
+            for c in sa.as_relation().conjuncts() {
+                let mut once = c.clone();
+                once.normalize();
+                // Rebuild from the normalized constraints so the once-flag
+                // is clear and `normalize` actually re-derives.
+                let mut twice = Conjunct::new();
+                for e in once.eqs() {
+                    twice.add_eq(e.clone());
+                }
+                for e in once.geqs() {
+                    twice.add_geq(e.clone());
+                }
+                twice.normalize();
+                if twice != once {
+                    return Err(format!(
+                        "normalize is not idempotent: {once:?} re-normalized to {twice:?}"
+                    ));
+                }
+            }
+            Ok(Verdict::Pass)
+        }
+        "canonical-agree" => {
+            let a = &inputs[0];
+            let sa = a.to_set()?;
+            let ctx = Context::new();
+            for c in sa.as_relation().conjuncts() {
+                let canon = c.canonical();
+                let mut n = c.clone();
+                n.normalize();
+                if n != canon {
+                    return Err(format!("canonical() disagrees with normalize() on {c:?}"));
+                }
+                if canon.canonical() != canon {
+                    return Err(format!("canonical form is not a fixed point: {canon:?}"));
+                }
+                // A deliberately messy respelling — scaled constraints in
+                // reversed order plus one duplicate — must reach the same
+                // canonical form and the same interned identity.
+                let mut messy = Conjunct::new();
+                for e in c.geqs().iter().rev() {
+                    messy.add_geq(e.scaled(2));
+                }
+                for e in c.eqs().iter().rev() {
+                    messy.add_eq(e.scaled(3));
+                }
+                if let Some(e) = c.geqs().first() {
+                    messy.add_geq(e.clone());
+                }
+                if messy.canonical() != canon {
+                    return Err(format!(
+                        "respelled conjunct canonicalized differently: {messy:?} vs {canon:?}"
+                    ));
+                }
+                if ctx.intern_conjunct(&messy) != ctx.intern_conjunct(c) {
+                    return Err(format!("respelling interned to a distinct id: {c:?}"));
                 }
             }
             Ok(Verdict::Pass)

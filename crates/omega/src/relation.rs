@@ -347,19 +347,10 @@ impl Relation {
                     Var::Exist(i) => Var::Exist(mid + ea + i),
                     v => v,
                 });
-                let mut merged = Conjunct::new();
-                for e in ra.eqs() {
-                    merged.add_eq(e.clone());
-                }
-                for e in ra.geqs() {
-                    merged.add_geq(e.clone());
-                }
-                for e in rb.eqs() {
-                    merged.add_eq(e.clone());
-                }
-                for e in rb.geqs() {
-                    merged.add_geq(e.clone());
-                }
+                // The renames above already placed the existential index
+                // ranges disjointly, so the two halves conjoin verbatim.
+                let mut merged = ra;
+                merged.conjoin_raw(rb);
                 // Eliminate the mid existentials exactly for compact output.
                 let mut work = vec![merged];
                 for j in 0..mid {
@@ -447,7 +438,6 @@ impl Relation {
         let mut lifted = set.as_relation().clone();
         lifted.n_out = self.n_out;
         lifted.out_names = self.out_names.clone();
-        lifted.conjuncts = lifted.conjuncts.clone();
         self.intersection(&lifted)
     }
 
@@ -591,7 +581,10 @@ impl Relation {
     pub fn simplify_cheap(&mut self) {
         self.conjuncts
             .retain_mut(|c| c.normalize() != Normalized::False);
-        self.conjuncts.sort_by_key(|c| format!("{c:?}"));
+        // Conjuncts are normalized (sorted, deduplicated constraints), so
+        // their structural `Ord` gives a canonical sequence directly — no
+        // more formatting every conjunct to a `Debug` string per sort key.
+        self.conjuncts.sort_unstable();
         self.conjuncts.dedup();
     }
 
@@ -649,6 +642,16 @@ impl Relation {
         let ctx = self.ctx.clone();
         let cx = ctx.as_ref();
         let mut keep = vec![true; self.conjuncts.len()];
+        // Subsumption is only an optimization: when the negation
+        // shatters into too many pieces (stride-heavy conjuncts can
+        // produce thousands), checking them all costs far more than
+        // keeping the extra conjunct. Skip those pairs. The cap is
+        // per-context configurable via
+        // `Budget::subsume_negation_pieces` (default 64).
+        let max_neg_pieces = cx.map_or_else(
+            || crate::Budget::default().subsume_negation_pieces,
+            crate::Context::subsume_negation_pieces,
+        );
         for i in 0..self.conjuncts.len() {
             if !keep[i] {
                 continue;
@@ -657,16 +660,6 @@ impl Relation {
                 if i == j || !keep[j] {
                     continue;
                 }
-                // Subsumption is only an optimization: when the negation
-                // shatters into too many pieces (stride-heavy conjuncts can
-                // produce thousands), checking them all costs far more than
-                // keeping the extra conjunct. Skip those pairs. The cap is
-                // per-context configurable via
-                // `Budget::subsume_negation_pieces` (default 64).
-                let max_neg_pieces = cx.map_or_else(
-                    || crate::Budget::default().subsume_negation_pieces,
-                    crate::Context::subsume_negation_pieces,
-                );
                 if let Ok(negs) = negate_conjunct_in(&self.conjuncts[j], cx) {
                     if negs.len() > max_neg_pieces {
                         continue;
@@ -709,8 +702,10 @@ impl Relation {
                     continue;
                 }
                 let (ci, cj) = (&self.conjuncts[i], &self.conjuncts[j]);
-                let sub = cj.eqs().iter().all(|e| ci.eqs().contains(e))
-                    && cj.geqs().iter().all(|e| ci.geqs().contains(e))
+                // Normalized conjuncts keep their constraints sorted, so
+                // the subset tests can binary-search instead of scanning.
+                let sub = cj.eqs().iter().all(|e| ci.eqs().binary_search(e).is_ok())
+                    && cj.geqs().iter().all(|e| ci.geqs().binary_search(e).is_ok())
                     && (cj.eqs().len() < ci.eqs().len()
                         || cj.geqs().len() < ci.geqs().len()
                         || j < i);

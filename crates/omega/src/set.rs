@@ -217,8 +217,8 @@ impl Set {
         *rel.conjuncts_mut() = conjs;
         let ctx = self.rel.context().cloned();
         let cx = ctx.as_ref();
-        let mut tmp = Relation::universe(arity, dims.len() as u32);
-        let (mut a, _) = Relation::unify_params(rel, tmp.clone());
+        let tmp = Relation::universe(arity, dims.len() as u32);
+        let (mut a, _) = Relation::unify_params(rel, tmp);
         for i in 0..arity {
             if pos_of(i).is_none() {
                 let mut out = Vec::new();
@@ -239,7 +239,7 @@ impl Set {
                 })
             })
             .collect();
-        tmp = Relation::universe(dims.len() as u32, 0);
+        let mut tmp = Relation::universe(dims.len() as u32, 0);
         if let Some(cx) = cx {
             tmp = tmp.with_context(cx);
         }
